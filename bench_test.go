@@ -1,0 +1,180 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper (one benchmark per artifact; each iteration reruns the
+// experiment's sweep in quick mode with a single repetition), plus ablation
+// benchmarks for the design choices called out in DESIGN.md: exchange
+// schedule, barrier algorithm, data layout, and node-model fidelity.
+//
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/qsmlib"
+	"repro/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, experiments.Options{Seed: int64(i + 1), Runs: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Tables) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable2NodeModel(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkTable3ObservedNetwork(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig1Prefix(b *testing.B)            { benchExperiment(b, "fig1") }
+func BenchmarkFig2SampleSort(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig3ListRank(b *testing.B)          { benchExperiment(b, "fig3") }
+func BenchmarkFig4LatencySweep(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFig5LatencyCrossover(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6OverheadCrossover(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkTable4Extrapolation(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkFig7MemoryBanks(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkExt1EmulationOverhead(b *testing.B) { benchExperiment(b, "ext1") }
+func BenchmarkExt2LogPvsQSM(b *testing.B)         { benchExperiment(b, "ext2") }
+func BenchmarkExt3PRAMvsQSM(b *testing.B)         { benchExperiment(b, "ext3") }
+func BenchmarkExt4KappaContention(b *testing.B)   { benchExperiment(b, "ext4") }
+
+// Ablations.
+
+func sortOnce(b *testing.B, opts qsmlib.Options, n, p int) {
+	b.Helper()
+	in := workload.UniformInts(n, 0, opts.Seed)
+	alg := algorithms.SampleSort{N: n, Input: func(id, pp int) []int64 {
+		lo, hi := workload.Partition(n, pp, id)
+		return in[lo:hi]
+	}}
+	m := qsmlib.New(p, opts)
+	if err := m.Run(alg.Program()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(m.RunStats().TotalCycles), "simcycles/op")
+}
+
+// BenchmarkAblationExchangeSchedule compares the staggered exchange (node i
+// sends to (i+r) mod p in round r) against a naive fixed order that
+// concentrates early traffic on low-numbered receive NICs.
+func BenchmarkAblationExchangeSchedule(b *testing.B) {
+	const n, p = 131072, 16
+	b.Run("staggered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sortOnce(b, qsmlib.Options{Seed: int64(i + 1)}, n, p)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sortOnce(b, qsmlib.Options{Seed: int64(i + 1), NaiveExchange: true}, n, p)
+		}
+	})
+}
+
+// BenchmarkAblationBarrier compares the central barrier against the
+// dissemination (tree) barrier underneath every Sync.
+func BenchmarkAblationBarrier(b *testing.B) {
+	const n, p = 65536, 16
+	b.Run("central", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sortOnce(b, qsmlib.Options{Seed: int64(i + 1)}, n, p)
+		}
+	})
+	b.Run("tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sortOnce(b, qsmlib.Options{Seed: int64(i + 1), TreeBarrier: true}, n, p)
+		}
+	})
+}
+
+// BenchmarkAblationLayout demonstrates why the QSM implementation contract
+// randomizes data layout: every node gathers scattered words from one hot
+// range of a shared array. Blocked layout funnels all of that traffic to a
+// single owner; the hashed layout spreads it across the machine.
+func BenchmarkAblationLayout(b *testing.B) {
+	const n, p, perNode = 1 << 16, 16, 2000
+	hotGather := func(kind core.LayoutKind, seed int64) float64 {
+		m := qsmlib.New(p, qsmlib.Options{Seed: seed})
+		err := m.Run(func(ctx core.Ctx) {
+			h := ctx.RegisterSpec("hot", n, core.LayoutSpec{Kind: kind})
+			ctx.Sync()
+			rng := ctx.Rand()
+			seen := make(map[int]bool, perNode)
+			idx := make([]int, 0, perNode)
+			for len(idx) < perNode {
+				ix := int(rng.Int31n(n / p)) // the hot range: the first 1/p of the array
+				if !seen[ix] {
+					seen[ix] = true
+					idx = append(idx, ix)
+				}
+			}
+			ctx.GetIndexed(h, idx, make([]int64, len(idx)))
+			ctx.Sync()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(m.RunStats().TotalCycles)
+	}
+	for _, tc := range []struct {
+		name string
+		kind core.LayoutKind
+	}{
+		{"blocked-hotspot", core.LayoutBlocked},
+		{"cyclic", core.LayoutCyclic},
+		{"hashed", core.LayoutHashed},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(hotGather(tc.kind, int64(i+1)), "simcycles/op")
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndAlgorithms times one simulated run of each workload at a
+// representative size, reporting simulated cycles alongside wall time.
+func BenchmarkEndToEndAlgorithms(b *testing.B) {
+	const p = 16
+	b.Run("prefix-256k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 262144
+			in := workload.UniformInts(n, 1000, int64(i))
+			alg := algorithms.PrefixSums{N: n, Input: func(id, pp int) []int64 {
+				lo, hi := workload.Partition(n, pp, id)
+				return in[lo:hi]
+			}}
+			m := qsmlib.New(p, qsmlib.Options{Seed: int64(i)})
+			if err := m.Run(alg.Program()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sort-256k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sortOnce(b, qsmlib.Options{Seed: int64(i + 1)}, 262144, p)
+		}
+	})
+	b.Run("listrank-128k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l := workload.RandomList(131072, int64(i))
+			alg := algorithms.ListRank{List: l}
+			m := qsmlib.New(p, qsmlib.Options{Seed: int64(i)})
+			if err := m.Run(alg.Program()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,62 @@
+// Command membench runs the Section 4 memory-bank contention microbenchmark
+// on the modelled architectures.
+//
+// Usage:
+//
+//	membench                  # all architectures, all patterns (Figure 7)
+//	membench -arch Cray-T3E -accesses 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/membank"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		arch     = flag.String("arch", "", "architecture name (default: all)")
+		accesses = flag.Int("accesses", 500, "accesses per processor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	configs := membank.AllConfigs()
+	if *arch != "" {
+		var sel []membank.Config
+		for _, c := range configs {
+			if strings.EqualFold(c.Name, *arch) {
+				sel = append(sel, c)
+			}
+		}
+		if len(sel) == 0 {
+			names := make([]string, len(configs))
+			for i, c := range configs {
+				names[i] = c.Name
+			}
+			fmt.Fprintf(os.Stderr, "membench: unknown architecture %q (have %s)\n",
+				*arch, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		configs = sel
+	}
+
+	t := report.NewTable("Remote memory access time under load (us per access)",
+		"architecture", "pattern", "avg us", "avg cycles", "hot bank util")
+	for _, cfg := range configs {
+		for _, r := range membank.RunAll(cfg, *accesses, *seed) {
+			t.AddRow(cfg.Name, r.Pattern.String(),
+				report.F(r.AvgMicros()), report.F(r.AvgCycles), report.Pct(r.MaxBankUtil))
+		}
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,66 @@
+// Command qsmbench runs the paper's experiments by id and prints their
+// tables (or CSV).
+//
+// Usage:
+//
+//	qsmbench -list
+//	qsmbench -exp fig2 [-runs 10] [-seed 1] [-csv] [-quick]
+//	qsmbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		runs  = flag.Int("runs", 5, "repetitions per data point (paper uses 10)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	ids := flag.Args()
+	if *exp != "" {
+		ids = append(ids, *exp)
+	}
+	if *all {
+		ids = experiments.IDs()
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "qsmbench: nothing to run; use -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+	opt := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick}
+	for _, id := range ids {
+		t0 := time.Now()
+		r, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qsmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			for _, t := range r.Tables {
+				fmt.Print(t.CSV())
+			}
+		} else {
+			fmt.Print(r)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(t0).Seconds())
+	}
+}

@@ -1,0 +1,65 @@
+// Command qsmtrace runs one algorithm on the simulated machine and dumps
+// the per-node, per-phase timeline as CSV: when each Sync began and ended
+// in simulated cycles and how many words it moved. Feed it to a
+// spreadsheet or plotting tool to see where a program's time goes.
+//
+// Usage:
+//
+//	qsmtrace -alg sort -n 65536 -p 16 > timeline.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/qsmlib"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		alg  = flag.String("alg", "sort", "algorithm: prefix, sort, rank, or wyllie")
+		n    = flag.Int("n", 65536, "problem size")
+		p    = flag.Int("p", 16, "processors")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	in := workload.UniformInts(*n, 0, *seed)
+	input := func(id, pp int) []int64 {
+		lo, hi := workload.Partition(*n, pp, id)
+		return in[lo:hi]
+	}
+	var prog core.Program
+	switch *alg {
+	case "prefix":
+		prog = algorithms.PrefixSums{N: *n, Input: input}.Program()
+	case "sort":
+		prog = algorithms.SampleSort{N: *n, Input: input}.Program()
+	case "rank":
+		prog = algorithms.ListRank{List: workload.RandomList(*n, *seed)}.Program()
+	case "wyllie":
+		prog = algorithms.WyllieListRank{List: workload.RandomList(*n, *seed)}.Program()
+	default:
+		fmt.Fprintf(os.Stderr, "qsmtrace: unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	m := qsmlib.New(*p, qsmlib.Options{Seed: *seed})
+	if err := m.Run(prog); err != nil {
+		fmt.Fprintf(os.Stderr, "qsmtrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("node,phase,start_cycles,end_cycles,duration_cycles,put_words,get_words")
+	for id := 0; id < *p; id++ {
+		for _, s := range m.Timeline(id) {
+			fmt.Printf("%d,%d,%d,%d,%d,%d,%d\n",
+				id, s.Phase, s.Start, s.End, s.End-s.Start, s.PutWords, s.GetWords)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "qsmtrace: %s n=%d p=%d: total %d cycles, comm %d cycles (bottleneck)\n",
+		*alg, *n, *p, m.RunStats().TotalCycles, m.RunStats().MaxComm())
+}

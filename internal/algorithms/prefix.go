@@ -1,0 +1,79 @@
+package algorithms
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// PrefixSums is the appendix's parallelprefix: one communication phase in
+// which every processor broadcasts its local sum, giving QSM communication
+// cost g(p-1). The result appears in the shared array "prefix.out".
+type PrefixSums struct {
+	N int
+	// Input returns processor id's block of the distributed input
+	// (workload.Partition sizing). It must be deterministic.
+	Input func(id, p int) []int64
+}
+
+// OutName is the shared array holding the result.
+const prefixOutName = "prefix.out"
+
+// Out returns the name of the result array.
+func (PrefixSums) Out() string { return prefixOutName }
+
+// Program returns the QSM program.
+func (a PrefixSums) Program() core.Program {
+	return func(ctx core.Ctx) {
+		p, id := ctx.P(), ctx.ID()
+		lo, _ := workload.Partition(a.N, p, id)
+		local := append([]int64(nil), a.Input(id, p)...)
+
+		out := ctx.RegisterSpec(prefixOutName, a.N, core.LayoutSpec{Kind: core.LayoutBlocked})
+		// bcast is a p x p matrix, one row per reader; row r is owned by
+		// processor r (blocked layout with n = p*p gives blocks of p).
+		bcast := ctx.RegisterSpec("prefix.bcast", p*p, core.LayoutSpec{Kind: core.LayoutBlocked})
+		ctx.Sync()
+
+		// Step 1: local prefix sums.
+		for i := 1; i < len(local); i++ {
+			local[i] += local[i-1]
+		}
+		ctx.Compute(cpu.BlockPrefixSum(len(local)))
+
+		// Step 2: broadcast the local total to every other processor's row:
+		// p-1 remote words, the algorithm's entire communication.
+		var sum int64
+		if len(local) > 0 {
+			sum = local[len(local)-1]
+		}
+		idx := make([]int, 0, p-1)
+		vals := make([]int64, 0, p-1)
+		for r := 0; r < p; r++ {
+			if r == id {
+				ctx.WriteLocal(bcast, r*p+id, []int64{sum})
+				continue
+			}
+			idx = append(idx, r*p+id)
+			vals = append(vals, sum)
+		}
+		ctx.PutIndexed(bcast, idx, vals)
+		ctx.Sync()
+
+		// Step 3: add the offset of the preceding processors.
+		row := make([]int64, p)
+		ctx.ReadLocal(bcast, id*p, row)
+		var off int64
+		for r := 0; r < id; r++ {
+			off += row[r]
+		}
+		for i := range local {
+			local[i] += off
+		}
+		ctx.Compute(cpu.BlockSum(p).Add(cpu.BlockPrefixSum(len(local))))
+		if len(local) > 0 {
+			ctx.WriteLocal(out, lo, local)
+		}
+		ctx.Sync()
+	}
+}

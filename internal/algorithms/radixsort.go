@@ -1,0 +1,117 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// RadixSort is a deterministic LSD radix sort over non-negative keys: each
+// pass counts digit occurrences locally, computes global stable positions
+// with an all-gather of the count vectors, and scatters every element to
+// its exact destination. It is the deterministic, oblivious counterpoint to
+// SampleSort: its communication volume is fixed (n words per pass) and
+// perfectly balanced, at the price of KeyBits/Bits full redistributions —
+// useful both as a second sorting workload and as a load-balance control
+// (its "skew" is identically zero, so QSM's best-case analysis is exact).
+//
+// The sorted result appears in the shared array "radix.out".
+type RadixSort struct {
+	N int
+	// Bits is the digit width per pass (default 8).
+	Bits int
+	// KeyBits bounds the keys: all inputs must lie in [0, 2^KeyBits).
+	// Default 32.
+	KeyBits int
+	// Input returns processor id's block of the distributed input.
+	Input func(id, p int) []int64
+}
+
+// Out returns the name of the result array.
+func (RadixSort) Out() string { return "radix.out" }
+
+// Program returns the QSM program.
+func (a RadixSort) Program() core.Program {
+	bits := a.Bits
+	if bits == 0 {
+		bits = 8
+	}
+	keyBits := a.KeyBits
+	if keyBits == 0 {
+		keyBits = 32
+	}
+	return func(ctx core.Ctx) {
+		p, id := ctx.P(), ctx.ID()
+		n := a.N
+		radix := 1 << bits
+		mask := int64(radix - 1)
+		lo, hi := workload.Partition(n, p, id)
+		local := append([]int64(nil), a.Input(id, p)...)
+		for _, v := range local {
+			if v < 0 || v >= 1<<uint(keyBits) {
+				panic(fmt.Sprintf("algorithms: key %d outside [0, 2^%d)", v, keyBits))
+			}
+		}
+
+		out := ctx.RegisterSpec("radix.out", n, core.LayoutSpec{Kind: core.LayoutBlocked})
+		stage := ctx.RegisterSpec("radix.stage", n, core.LayoutSpec{Kind: core.LayoutBlocked})
+		g := collective.NewGroup(ctx, "radix")
+		ctx.Sync()
+
+		for shift := 0; shift < keyBits; shift += bits {
+			digit := func(v int64) int { return int((v >> uint(shift)) & mask) }
+
+			counts := make([]int64, radix)
+			for _, v := range local {
+				counts[digit(v)]++
+			}
+			ctx.Compute(cpu.BlockCompact(len(local)))
+
+			// Global stable positions: element e with digit d on processor
+			// i goes to (elements with smaller digits anywhere) + (digit-d
+			// elements on processors < i) + (digit-d elements before e
+			// locally).
+			all := g.AllGather(counts) // p x radix
+			start := make([]int64, radix)
+			var acc int64
+			for d := 0; d < radix; d++ {
+				start[d] = acc
+				for src := 0; src < p; src++ {
+					acc += all[src*radix+d]
+				}
+			}
+			myStart := make([]int64, radix)
+			for d := 0; d < radix; d++ {
+				myStart[d] = start[d]
+				for src := 0; src < id; src++ {
+					myStart[d] += all[src*radix+d]
+				}
+			}
+			ctx.Compute(cpu.BlockSum(p * radix))
+
+			idx := make([]int, len(local))
+			cursor := myStart
+			for k, v := range local {
+				d := digit(v)
+				idx[k] = int(cursor[d])
+				cursor[d]++
+			}
+			ctx.PutIndexed(stage, idx, local)
+			ctx.Compute(cpu.BlockScatter(len(local), uint64(8*n)))
+			ctx.Sync()
+
+			if hi > lo {
+				local = local[:hi-lo]
+				ctx.ReadLocal(stage, lo, local)
+			}
+		}
+
+		if hi > lo {
+			ctx.WriteLocal(out, lo, local)
+		}
+		ctx.Sync()
+	}
+}

@@ -1,0 +1,225 @@
+package bsp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPutDelivers(t *testing.T) {
+	m := New(4, Options{Seed: 1})
+	err := m.Run(func(pc *Proc) {
+		r := pc.Register("box", 4)
+		pc.Sync()
+		// Everyone writes its id into every processor's copy, slot id.
+		for dst := 0; dst < pc.P(); dst++ {
+			pc.Put(dst, r, pc.ID(), []int64{int64(pc.ID() + 100)})
+		}
+		pc.Sync()
+		got := make([]int64, 4)
+		pc.ReadLocal(r, 0, got)
+		for i, v := range got {
+			if v != int64(i+100) {
+				panic("wrong value")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every copy holds the same content.
+	for proc := 0; proc < 4; proc++ {
+		data := m.RegionData("box", proc)
+		for i, v := range data {
+			if v != int64(i+100) {
+				t.Fatalf("proc %d copy: %v", proc, data)
+			}
+		}
+	}
+}
+
+func TestRegionsArePerProcessor(t *testing.T) {
+	m := New(3, Options{Seed: 2})
+	err := m.Run(func(pc *Proc) {
+		r := pc.Register("priv", 1)
+		pc.Sync()
+		pc.WriteLocal(r, 0, []int64{int64(pc.ID() * 7)})
+		pc.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for proc := 0; proc < 3; proc++ {
+		if got := m.RegionData("priv", proc)[0]; got != int64(proc*7) {
+			t.Fatalf("proc %d region = %d", proc, got)
+		}
+	}
+}
+
+func TestGetReadsRemoteCopy(t *testing.T) {
+	m := New(2, Options{Seed: 3})
+	err := m.Run(func(pc *Proc) {
+		r := pc.Register("a", 8)
+		pc.Sync()
+		vals := make([]int64, 8)
+		for i := range vals {
+			vals[i] = int64(pc.ID()*1000 + i)
+		}
+		pc.WriteLocal(r, 0, vals)
+		pc.Sync()
+		other := 1 - pc.ID()
+		got := make([]int64, 8)
+		pc.Get(other, r, 0, got)
+		pc.Sync()
+		for i, v := range got {
+			if v != int64(other*1000+i) {
+				panic("get returned wrong copy")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetSeesPreCommitState(t *testing.T) {
+	m := New(2, Options{Seed: 4})
+	err := m.Run(func(pc *Proc) {
+		r := pc.Register("a", 2)
+		pc.Sync()
+		if pc.ID() == 0 {
+			pc.WriteLocal(r, 0, []int64{5})
+		}
+		pc.Sync()
+		got := make([]int64, 1)
+		if pc.ID() == 1 {
+			pc.Get(0, r, 0, got)
+			pc.Put(0, r, 1, []int64{9}) // same superstep, different word
+		}
+		pc.Sync()
+		if pc.ID() == 1 && got[0] != 5 {
+			panic("get saw in-flight state")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedOps(t *testing.T) {
+	m := New(3, Options{Seed: 5})
+	err := m.Run(func(pc *Proc) {
+		r := pc.Register("a", 16)
+		pc.Sync()
+		if pc.ID() == 0 {
+			pc.PutIndexed(2, r, []int{1, 5, 9}, []int64{11, 55, 99})
+		}
+		pc.Sync()
+		got := make([]int64, 3)
+		if pc.ID() == 1 {
+			pc.GetIndexed(2, r, []int{9, 1, 5}, got)
+		}
+		pc.Sync()
+		if pc.ID() == 1 {
+			if got[0] != 99 || got[1] != 11 || got[2] != 55 {
+				panic("indexed round trip failed")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConflictingPutsResolveBySource(t *testing.T) {
+	m := New(4, Options{Seed: 6})
+	err := m.Run(func(pc *Proc) {
+		r := pc.Register("w", 1)
+		pc.Sync()
+		pc.Put(0, r, 0, []int64{int64(pc.ID() + 100)})
+		pc.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.RegionData("w", 0)[0]; got != 103 {
+		t.Fatalf("conflict resolved to %d, want 103", got)
+	}
+}
+
+func TestCommCostsAccumulate(t *testing.T) {
+	m := New(2, Options{Seed: 7})
+	if err := m.Run(func(pc *Proc) {
+		r := pc.Register("a", 20000)
+		pc.Sync()
+		if pc.ID() == 0 {
+			pc.Put(1, r, 0, make([]int64, 20000))
+		}
+		pc.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.RunStats()
+	if st.MaxComm() < 100000 {
+		t.Errorf("bulk put comm = %d cycles, suspiciously small", st.MaxComm())
+	}
+	if st.MsgsSent == 0 || st.BytesSent < 160000 {
+		t.Errorf("counters: msgs=%d bytes=%d", st.MsgsSent, st.BytesSent)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		m := New(4, Options{Seed: 8})
+		if err := m.Run(func(pc *Proc) {
+			r := pc.Register("a", 64)
+			pc.Sync()
+			for round := 0; round < 3; round++ {
+				dst := int(pc.Rand().Int31n(4))
+				pc.Put(dst, r, pc.ID(), []int64{int64(round)})
+				pc.Sync()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.RunStats().TotalCycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestRegisterMismatchPanics(t *testing.T) {
+	m := New(2, Options{Seed: 9})
+	err := m.Run(func(pc *Proc) {
+		pc.Register("a", 4)
+		pc.Register("a", 8)
+	})
+	if err == nil {
+		t.Fatal("size mismatch should error")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	m := New(2, Options{Seed: 10})
+	err := m.Run(func(pc *Proc) {
+		r := pc.Register("a", 4)
+		pc.Sync()
+		pc.Put(1, r, 3, []int64{1, 2})
+	})
+	if err == nil {
+		t.Fatal("out-of-bounds put should error")
+	}
+}
+
+func TestInvalidDestPanics(t *testing.T) {
+	m := New(2, Options{Seed: 11})
+	err := m.Run(func(pc *Proc) {
+		r := pc.Register("a", 4)
+		pc.Sync()
+		pc.Put(7, r, 0, []int64{1})
+	})
+	if err == nil {
+		t.Fatal("invalid destination should error")
+	}
+}

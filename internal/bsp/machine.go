@@ -1,0 +1,154 @@
+// Package bsp implements a BSPlib-style bulk-synchronous message-passing
+// machine on the same hardware substrate as the QSM library, plus the
+// emulation of QSM shared memory on top of it.
+//
+// A BSP machine is a collection of processor-memory pairs with no shared
+// memory: each processor registers named local regions, and communicates by
+// one-sided Put and Get operations addressed to a (processor, region,
+// offset) triple. Operations enqueue locally and take effect at the end of
+// the superstep (Sync), which also synchronizes all processors — the model
+// of Valiant's BSP and of BSPlib.
+//
+// The QSMOnBSP adapter (qsmctx.go) realises the Gibbons-Matias-Ramachandran
+// bridging result experimentally: QSM shared arrays are distributed over
+// the BSP processors' regions (by blocked or hashed maps), and every QSM
+// operation translates to BSP puts and gets. The paper's algorithms run
+// unchanged through it; the ext-emulation experiment measures the overhead.
+package bsp
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Options configure a simulated BSP machine.
+type Options struct {
+	Net  machine.NetParams // zero value uses machine.DefaultNet
+	SW   msg.SWParams      // zero value uses msg.DefaultSW
+	Seed int64
+	// TreeBarrier selects the dissemination barrier for superstep ends.
+	TreeBarrier bool
+	// Model builds each node's processor model; nil uses Table 2 analytic.
+	Model func(id int) cpu.Model
+}
+
+// Region names a registered per-processor memory area.
+type Region int
+
+// Machine is a p-processor simulated BSP machine.
+type Machine struct {
+	MP   *machine.Multiprocessor
+	opts Options
+
+	regions []*region
+	byName  map[string]Region
+	procs   []*Proc
+}
+
+// region is a named area with a private copy on every processor.
+type region struct {
+	name string
+	size int
+	data [][]int64 // per processor
+}
+
+// New builds a p-processor BSP machine.
+func New(p int, opts Options) *Machine {
+	if opts.Net == (machine.NetParams{}) {
+		opts.Net = machine.DefaultNet()
+	}
+	if opts.SW == (msg.SWParams{}) {
+		opts.SW = msg.DefaultSW()
+	}
+	m := &Machine{opts: opts, byName: map[string]Region{}}
+	m.MP = machine.New(p, opts.Net, opts.Model)
+	return m
+}
+
+// P returns the processor count.
+func (m *Machine) P() int { return m.MP.P() }
+
+// Run executes prog on every processor and drives the simulation.
+func (m *Machine) Run(prog func(*Proc)) error {
+	m.procs = make([]*Proc, m.P())
+	return m.MP.Run(m.opts.Seed, func(n *machine.Node) {
+		pc := newProc(m, n)
+		m.procs[n.ID()] = pc
+		prog(pc)
+	})
+}
+
+// Stats summarise a completed run.
+type Stats struct {
+	TotalCycles sim.Time
+	CommCycles  []sim.Time
+	CompCycles  []sim.Time
+	MsgsSent    uint64
+	BytesSent   uint64
+}
+
+// MaxComm returns the bottleneck processor's communication time.
+func (s Stats) MaxComm() sim.Time {
+	var m sim.Time
+	for _, c := range s.CommCycles {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// RunStats returns the measurements of the last Run.
+func (m *Machine) RunStats() Stats {
+	s := Stats{TotalCycles: m.MP.E.Now()}
+	for _, n := range m.MP.Nodes {
+		s.MsgsSent += n.MsgsSent
+		s.BytesSent += n.BytesSent
+		s.CompCycles = append(s.CompCycles, n.CompCycles)
+	}
+	for _, pc := range m.procs {
+		if pc == nil {
+			s.CommCycles = append(s.CommCycles, 0)
+			continue
+		}
+		s.CommCycles = append(s.CommCycles, pc.commCycles)
+	}
+	return s
+}
+
+// RegionData returns processor proc's copy of a region after Run, or nil.
+func (m *Machine) RegionData(name string, proc int) []int64 {
+	r, ok := m.byName[name]
+	if !ok {
+		return nil
+	}
+	return m.regions[r].data[proc]
+}
+
+func (m *Machine) register(name string, size int) Region {
+	if r, ok := m.byName[name]; ok {
+		if m.regions[r].size != size {
+			panic(fmt.Sprintf("bsp: region %q re-registered with size %d != %d", name, size, m.regions[r].size))
+		}
+		return r
+	}
+	r := Region(len(m.regions))
+	reg := &region{name: name, size: size, data: make([][]int64, m.P())}
+	for i := range reg.data {
+		reg.data[i] = make([]int64, size)
+	}
+	m.regions = append(m.regions, reg)
+	m.byName[name] = r
+	return r
+}
+
+func (m *Machine) reg(r Region) *region {
+	if r < 0 || int(r) >= len(m.regions) {
+		panic(fmt.Sprintf("bsp: invalid region %d", r))
+	}
+	return m.regions[r]
+}

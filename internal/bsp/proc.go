@@ -1,0 +1,403 @@
+package bsp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Wire message types of the superstep protocol (the same plan / data /
+// reply structure as the QSM library's sync, with explicit destinations).
+
+type planMsg struct {
+	putWords int
+	getReqs  int
+}
+
+type putSeg struct {
+	reg  Region
+	off  int   // contiguous start; -1 for indexed
+	idx  []int // nil for contiguous
+	vals []int64
+}
+
+type getReq struct {
+	reqID int
+	reg   Region
+	off   int // contiguous start; -1 for indexed
+	n     int
+	idx   []int
+}
+
+type stepMsg struct {
+	puts []putSeg
+	reqs []getReq
+}
+
+type replyItem struct {
+	reqID int
+	vals  []int64
+}
+
+type replyMsg struct {
+	items []replyItem
+}
+
+type pendingGet struct {
+	dst []int64
+}
+
+// Software cost constants, matching the QSM library's.
+const (
+	enqueueFixed   = 16
+	enqueuePerWord = 2
+	localPerWord   = 4
+	localPerSeg    = 16
+)
+
+// Proc is one BSP processor.
+type Proc struct {
+	m    *Machine
+	node *machine.Node
+	comm *msg.Comm
+	gen  int
+
+	outPuts  [][]putSeg
+	outReqs  [][]getReq
+	selfPuts []putSeg
+	selfReqs []getReq
+	pending  []pendingGet
+
+	commCycles sim.Time
+}
+
+func newProc(m *Machine, n *machine.Node) *Proc {
+	p := m.P()
+	return &Proc{
+		m:       m,
+		node:    n,
+		comm:    msg.NewComm(n, m.opts.SW),
+		outPuts: make([][]putSeg, p),
+		outReqs: make([][]getReq, p),
+	}
+}
+
+// ID returns this processor's index.
+func (pc *Proc) ID() int { return pc.node.ID() }
+
+// P returns the machine size.
+func (pc *Proc) P() int { return pc.m.P() }
+
+// Rand returns the processor's deterministic random source.
+func (pc *Proc) Rand() *rand.Rand { return pc.node.Proc().Rand() }
+
+// Register allocates (or resolves) a named region of size words, one
+// private copy per processor. Collective; Sync before use.
+func (pc *Proc) Register(name string, size int) Region {
+	return pc.m.register(name, size)
+}
+
+// Compute charges local work to the processor model.
+func (pc *Proc) Compute(b cpu.OpBlock) { pc.node.Compute(b) }
+
+// busyComm charges local library work, counted as communication time.
+func (pc *Proc) busyComm(cycles sim.Time) {
+	pc.node.Busy(cycles)
+	pc.commCycles += cycles
+}
+
+func (pc *Proc) bounds(r *region, off, n int) {
+	if off < 0 || off+n > r.size {
+		panic(fmt.Sprintf("bsp: range [%d,%d) out of bounds for %q (size %d)", off, off+n, r.name, r.size))
+	}
+}
+
+func (pc *Proc) checkDst(dst int) {
+	if dst < 0 || dst >= pc.P() {
+		panic(fmt.Sprintf("bsp: invalid processor %d", dst))
+	}
+}
+
+// Put enqueues a write of vals into dst's copy of r at off, effective at
+// the end of the superstep (bsp_put).
+func (pc *Proc) Put(dst int, r Region, off int, vals []int64) {
+	if len(vals) == 0 {
+		return
+	}
+	pc.checkDst(dst)
+	reg := pc.m.reg(r)
+	pc.bounds(reg, off, len(vals))
+	pc.busyComm(enqueueFixed + sim.Time(enqueuePerWord*len(vals)))
+	seg := putSeg{reg: r, off: off, vals: append([]int64(nil), vals...)}
+	if dst == pc.ID() {
+		pc.selfPuts = append(pc.selfPuts, seg)
+		return
+	}
+	pc.outPuts[dst] = append(pc.outPuts[dst], seg)
+}
+
+// PutIndexed enqueues scattered writes into dst's copy of r.
+func (pc *Proc) PutIndexed(dst int, r Region, idx []int, vals []int64) {
+	if len(idx) != len(vals) {
+		panic(fmt.Sprintf("bsp: PutIndexed len(idx)=%d != len(vals)=%d", len(idx), len(vals)))
+	}
+	if len(idx) == 0 {
+		return
+	}
+	pc.checkDst(dst)
+	reg := pc.m.reg(r)
+	for _, ix := range idx {
+		if ix < 0 || ix >= reg.size {
+			panic(fmt.Sprintf("bsp: index %d out of range for %q (size %d)", ix, reg.name, reg.size))
+		}
+	}
+	pc.busyComm(enqueueFixed + sim.Time(enqueuePerWord*len(vals)))
+	seg := putSeg{reg: r, off: -1,
+		idx:  append([]int(nil), idx...),
+		vals: append([]int64(nil), vals...)}
+	if dst == pc.ID() {
+		pc.selfPuts = append(pc.selfPuts, seg)
+		return
+	}
+	pc.outPuts[dst] = append(pc.outPuts[dst], seg)
+}
+
+// Get enqueues a read of src's copy of r into dstBuf; the values are those
+// at the start of the superstep's end (bsp_hpget semantics).
+func (pc *Proc) Get(src int, r Region, off int, dstBuf []int64) {
+	if len(dstBuf) == 0 {
+		return
+	}
+	pc.checkDst(src)
+	reg := pc.m.reg(r)
+	pc.bounds(reg, off, len(dstBuf))
+	pc.busyComm(enqueueFixed + sim.Time(enqueuePerWord*len(dstBuf)))
+	pc.addGet(src, getReq{reg: r, off: off, n: len(dstBuf)}, pendingGet{dst: dstBuf})
+}
+
+// GetIndexed enqueues scattered reads from src's copy of r.
+func (pc *Proc) GetIndexed(src int, r Region, idx []int, dstBuf []int64) {
+	if len(idx) != len(dstBuf) {
+		panic(fmt.Sprintf("bsp: GetIndexed len(idx)=%d != len(dst)=%d", len(idx), len(dstBuf)))
+	}
+	if len(idx) == 0 {
+		return
+	}
+	pc.checkDst(src)
+	reg := pc.m.reg(r)
+	for _, ix := range idx {
+		if ix < 0 || ix >= reg.size {
+			panic(fmt.Sprintf("bsp: index %d out of range for %q (size %d)", ix, reg.name, reg.size))
+		}
+	}
+	pc.busyComm(enqueueFixed + sim.Time(enqueuePerWord*len(dstBuf)))
+	pc.addGet(src, getReq{reg: r, off: -1, idx: append([]int(nil), idx...)}, pendingGet{dst: dstBuf})
+}
+
+func (pc *Proc) addGet(src int, rq getReq, pg pendingGet) {
+	rq.reqID = len(pc.pending)
+	pc.pending = append(pc.pending, pg)
+	if src == pc.ID() {
+		pc.selfReqs = append(pc.selfReqs, rq)
+		return
+	}
+	pc.outReqs[src] = append(pc.outReqs[src], rq)
+}
+
+// ReadLocal reads this processor's own copy of r immediately.
+func (pc *Proc) ReadLocal(r Region, off int, dst []int64) {
+	reg := pc.m.reg(r)
+	pc.bounds(reg, off, len(dst))
+	copy(dst, reg.data[pc.ID()][off:off+len(dst)])
+	pc.node.Busy(sim.Time(localPerSeg + localPerWord*len(dst)))
+}
+
+// WriteLocal writes this processor's own copy of r immediately.
+func (pc *Proc) WriteLocal(r Region, off int, vals []int64) {
+	reg := pc.m.reg(r)
+	pc.bounds(reg, off, len(vals))
+	copy(reg.data[pc.ID()][off:off+len(vals)], vals)
+	pc.node.Busy(sim.Time(localPerSeg + localPerWord*len(vals)))
+}
+
+// gather reads a request's words from this processor's copy (pre-commit).
+func (pc *Proc) gather(rq getReq) []int64 {
+	data := pc.m.reg(rq.reg).data[pc.ID()]
+	if rq.idx == nil {
+		vals := make([]int64, rq.n)
+		copy(vals, data[rq.off:rq.off+rq.n])
+		return vals
+	}
+	vals := make([]int64, len(rq.idx))
+	for i, ix := range rq.idx {
+		vals[i] = data[ix]
+	}
+	return vals
+}
+
+func words(segs []putSeg) int {
+	w := 0
+	for _, s := range segs {
+		w += len(s.vals)
+	}
+	return w
+}
+
+func smBytes(sm *stepMsg) int {
+	b := 0
+	for _, s := range sm.puts {
+		b += 16 + 8*len(s.vals)
+		if s.idx != nil {
+			b += 8 * len(s.idx)
+		}
+	}
+	for _, r := range sm.reqs {
+		b += 24
+		if r.idx != nil {
+			b += 8 * len(r.idx)
+		}
+	}
+	return b
+}
+
+func replyBytes(rm *replyMsg) int {
+	b := 0
+	for _, it := range rm.items {
+		b += 16 + 8*len(it.vals)
+	}
+	return b
+}
+
+// Sync ends the superstep: plan exchange, staggered data exchange, get
+// replies served from pre-commit state, puts applied in source order, and a
+// barrier.
+func (pc *Proc) Sync() {
+	t0 := pc.node.Now()
+	p, me := pc.P(), pc.ID()
+	gen := pc.gen
+	pc.gen++
+	tagPlan, tagData, tagReply := 3*gen, 3*gen+1, 3*gen+2
+
+	for r := 1; r < p; r++ {
+		peer := (me + r) % p
+		pm := planMsg{putWords: words(pc.outPuts[peer]), getReqs: len(pc.outReqs[peer])}
+		pc.comm.Send(peer, tagPlan, 16, pm)
+	}
+	expectData := make([]bool, p)
+	for r := 1; r < p; r++ {
+		peer := (me - r + p) % p
+		pm := pc.comm.Recv(peer, tagPlan).Payload.(planMsg)
+		expectData[peer] = pm.putWords > 0 || pm.getReqs > 0
+	}
+
+	for r := 1; r < p; r++ {
+		peer := (me + r) % p
+		if len(pc.outPuts[peer]) == 0 && len(pc.outReqs[peer]) == 0 {
+			continue
+		}
+		sm := &stepMsg{puts: pc.outPuts[peer], reqs: pc.outReqs[peer]}
+		pc.comm.Send(peer, tagData, smBytes(sm), sm)
+	}
+
+	type incoming struct {
+		src  int
+		puts []putSeg
+	}
+	var in []incoming
+	for r := 1; r < p; r++ {
+		peer := (me - r + p) % p
+		if !expectData[peer] {
+			continue
+		}
+		sm := pc.comm.Recv(peer, tagData).Payload.(*stepMsg)
+		if len(sm.puts) > 0 {
+			in = append(in, incoming{src: peer, puts: sm.puts})
+		}
+		if len(sm.reqs) > 0 {
+			rm := &replyMsg{}
+			w := 0
+			for _, rq := range sm.reqs {
+				vals := pc.gather(rq)
+				w += len(vals)
+				rm.items = append(rm.items, replyItem{reqID: rq.reqID, vals: vals})
+			}
+			pc.node.Busy(sim.Time(localPerSeg*len(sm.reqs) + localPerWord*w))
+			pc.comm.Send(peer, tagReply, replyBytes(rm), rm)
+		}
+	}
+
+	for r := 1; r < p; r++ {
+		peer := (me + r) % p
+		if len(pc.outReqs[peer]) == 0 {
+			continue
+		}
+		rm := pc.comm.Recv(peer, tagReply).Payload.(*replyMsg)
+		w := 0
+		for _, it := range rm.items {
+			copy(pc.pending[it.reqID].dst, it.vals)
+			w += len(it.vals)
+		}
+		pc.node.Busy(sim.Time(localPerSeg*len(rm.items) + localPerWord*w))
+	}
+
+	if len(pc.selfReqs) > 0 {
+		w := 0
+		for _, rq := range pc.selfReqs {
+			vals := pc.gather(rq)
+			copy(pc.pending[rq.reqID].dst, vals)
+			w += len(vals)
+		}
+		pc.node.Busy(sim.Time(localPerSeg*len(pc.selfReqs) + localPerWord*w))
+	}
+
+	// Apply puts into this processor's copies, in source order.
+	sort.Slice(in, func(i, j int) bool { return in[i].src < in[j].src })
+	applied := 0
+	apply := func(segs []putSeg) {
+		for _, s := range segs {
+			data := pc.m.reg(s.reg).data[me]
+			if s.idx == nil {
+				copy(data[s.off:s.off+len(s.vals)], s.vals)
+			} else {
+				for i, ix := range s.idx {
+					data[ix] = s.vals[i]
+				}
+			}
+			applied += len(s.vals)
+		}
+	}
+	ii := 0
+	for src := 0; src < p; src++ {
+		if src == me {
+			apply(pc.selfPuts)
+			continue
+		}
+		if ii < len(in) && in[ii].src == src {
+			apply(in[ii].puts)
+			ii++
+		}
+	}
+	if applied > 0 {
+		pc.node.Busy(sim.Time(localPerWord * applied))
+	}
+
+	for i := range pc.outPuts {
+		pc.outPuts[i] = nil
+		pc.outReqs[i] = nil
+	}
+	pc.selfPuts = nil
+	pc.selfReqs = nil
+	pc.pending = nil
+
+	if pc.m.opts.TreeBarrier {
+		pc.comm.TreeBarrier()
+	} else {
+		pc.comm.Barrier()
+	}
+	pc.commCycles += pc.node.Now() - t0
+}

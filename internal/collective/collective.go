@@ -1,0 +1,187 @@
+// Package collective provides reusable bulk-synchronous collective
+// operations over the QSM Ctx interface: broadcast, all-gather, reductions,
+// prefix scans and uniform all-to-all. Each operation is a phased QSM
+// program fragment — it calls Sync internally — with the communication cost
+// stated in its doc comment in QSM terms (words of m_rw per processor).
+//
+// Operations allocate their scratch arrays through a Group, which derives
+// collision-free shared-array names; because every processor executes the
+// same collective sequence, the derived names agree across processors.
+// Scratch arrays are freed before the operation returns.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// Group issues collectives for one processor. Create one per processor with
+// the same prefix on all processors and call the same operations in the
+// same order.
+type Group struct {
+	ctx core.Ctx
+	pfx string
+	seq int
+}
+
+// NewGroup creates a collective group over ctx.
+func NewGroup(ctx core.Ctx, prefix string) *Group {
+	return &Group{ctx: ctx, pfx: prefix}
+}
+
+func (g *Group) scratch(kind string, n int) core.Handle {
+	name := fmt.Sprintf("%s.%s.%d", g.pfx, kind, g.seq)
+	g.seq++
+	return g.ctx.RegisterSpec(name, n, core.LayoutSpec{Kind: core.LayoutBlocked})
+}
+
+// Broadcast distributes root's vals to every processor and returns the
+// received copy (root included). Cost: the root writes k(p-1) remote words;
+// 2 phases.
+func (g *Group) Broadcast(root int, vals []int64) []int64 {
+	ctx := g.ctx
+	p, id := ctx.P(), ctx.ID()
+	k := len(vals)
+	rows := g.scratch("bcast", p*k)
+	ctx.Sync()
+	if id == root {
+		for r := 0; r < p; r++ {
+			if r == id {
+				ctx.WriteLocal(rows, r*k, vals)
+				continue
+			}
+			ctx.Put(rows, r*k, vals)
+		}
+		ctx.Compute(cpu.BlockCopy(p * k))
+	}
+	ctx.Sync()
+	out := make([]int64, k)
+	ctx.ReadLocal(rows, id*k, out)
+	ctx.Free(rows)
+	ctx.Sync()
+	return out
+}
+
+// AllGather collects each processor's k-word contribution; the result is
+// laid out by processor id. Every contribution must have the same length.
+// Cost: k(p-1) remote words written per processor; 2 phases.
+func (g *Group) AllGather(mine []int64) []int64 {
+	ctx := g.ctx
+	p, id := ctx.P(), ctx.ID()
+	k := len(mine)
+	rows := g.scratch("gather", p*p*k) // row r holds all contributions for reader r
+	ctx.Sync()
+	for r := 0; r < p; r++ {
+		at := r*p*k + id*k
+		if r == id {
+			ctx.WriteLocal(rows, at, mine)
+			continue
+		}
+		ctx.Put(rows, at, mine)
+	}
+	ctx.Compute(cpu.BlockCopy(p * k))
+	ctx.Sync()
+	out := make([]int64, p*k)
+	ctx.ReadLocal(rows, id*p*k, out)
+	ctx.Free(rows)
+	ctx.Sync()
+	return out
+}
+
+// Op is a binary reduction operator.
+type Op func(a, b int64) int64
+
+// Standard reduction operators.
+var (
+	Sum Op = func(a, b int64) int64 { return a + b }
+	Min Op = func(a, b int64) int64 {
+		if b < a {
+			return b
+		}
+		return a
+	}
+	Max Op = func(a, b int64) int64 {
+		if b > a {
+			return b
+		}
+		return a
+	}
+)
+
+// AllReduce combines each processor's k-word vector element-wise with op;
+// every processor receives the full result. Cost: as AllGather plus kp
+// local operations.
+func (g *Group) AllReduce(mine []int64, op Op) []int64 {
+	ctx := g.ctx
+	p := ctx.P()
+	k := len(mine)
+	all := g.AllGather(mine)
+	out := make([]int64, k)
+	copy(out, all[:k])
+	for r := 1; r < p; r++ {
+		for i := 0; i < k; i++ {
+			out[i] = op(out[i], all[r*k+i])
+		}
+	}
+	ctx.Compute(cpu.BlockSum(p * k))
+	return out
+}
+
+// ExclusiveScan returns op over the values of all lower-numbered
+// processors (identity for processor 0), plus the total over everyone.
+// Cost: as AllGather with k = 1.
+func (g *Group) ExclusiveScan(mine int64, op Op, identity int64) (prefix, total int64) {
+	ctx := g.ctx
+	all := g.AllGather([]int64{mine})
+	prefix, total = identity, identity
+	for r, v := range all {
+		if r < ctx.ID() {
+			prefix = op(prefix, v)
+		}
+		total = op(total, v)
+	}
+	ctx.Compute(cpu.BlockSum(len(all)))
+	return prefix, total
+}
+
+// AllToAll delivers send[dst] (each exactly k words) to processor dst and
+// returns the p received blocks indexed by source. Cost: k(p-1) remote
+// words written per processor; 2 phases.
+func (g *Group) AllToAll(send [][]int64, k int) [][]int64 {
+	ctx := g.ctx
+	p, id := ctx.P(), ctx.ID()
+	if len(send) != p {
+		panic(fmt.Sprintf("collective: AllToAll needs %d blocks, got %d", p, len(send)))
+	}
+	for dst, blk := range send {
+		if len(blk) != k {
+			panic(fmt.Sprintf("collective: AllToAll block %d has %d words, want %d", dst, len(blk), k))
+		}
+	}
+	rows := g.scratch("a2a", p*p*k) // row r: blocks destined to r, by source
+	ctx.Sync()
+	for dst := 0; dst < p; dst++ {
+		at := dst*p*k + id*k
+		if dst == id {
+			ctx.WriteLocal(rows, at, send[dst])
+			continue
+		}
+		ctx.Put(rows, at, send[dst])
+	}
+	ctx.Compute(cpu.BlockCopy(p * k))
+	ctx.Sync()
+	mine := make([]int64, p*k)
+	ctx.ReadLocal(rows, id*p*k, mine)
+	out := make([][]int64, p)
+	for src := 0; src < p; src++ {
+		out[src] = mine[src*k : (src+1)*k : (src+1)*k]
+	}
+	ctx.Free(rows)
+	ctx.Sync()
+	return out
+}
+
+// Barrier is a pure synchronization phase with no data movement.
+func (g *Group) Barrier() { g.ctx.Sync() }

@@ -1,0 +1,47 @@
+package collective_test
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// ExampleGroup_AllReduce sums a per-processor value across the machine.
+func ExampleGroup_AllReduce() {
+	m := par.NewMachine(8, par.Options{Seed: 1})
+	out := make([]int64, 8)
+	err := m.Run(func(ctx core.Ctx) {
+		g := collective.NewGroup(ctx, "ex")
+		total := g.AllReduce([]int64{int64(ctx.ID() + 1)}, collective.Sum)
+		out[ctx.ID()] = total[0]
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out[0], out[7])
+	// Output: 36 36
+}
+
+// ExampleGroup_ExclusiveScan computes each processor's prefix offset, the
+// building block for distributing variable-sized output.
+func ExampleGroup_ExclusiveScan() {
+	m := par.NewMachine(4, par.Options{Seed: 1})
+	offsets := make([]int64, 4)
+	err := m.Run(func(ctx core.Ctx) {
+		mine := int64(10 * (ctx.ID() + 1)) // items this processor produced
+		off, total := g(ctx).ExclusiveScan(mine, collective.Sum, 0)
+		offsets[ctx.ID()] = off
+		if total != 100 {
+			panic("wrong total")
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(offsets)
+	// Output: [0 10 30 60]
+}
+
+func g(ctx core.Ctx) *collective.Group { return collective.NewGroup(ctx, "ex2") }

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func phase(ops, rw []uint64, kappa uint64) *PhaseProfile {
+	n := len(ops)
+	ph := &PhaseProfile{
+		Ops: ops, OpCycles: ops, RW: rw,
+		SentWords: rw, RecvWords: make([]uint64, n),
+		Msgs: make([]uint64, n), Kappa: kappa,
+	}
+	return ph
+}
+
+func TestPhaseCharges(t *testing.T) {
+	ph := phase([]uint64{100, 50}, []uint64{10, 30}, 7)
+	if got := ph.QSMCharge(2); got != 100 {
+		t.Errorf("QSM charge = %g, want max(100, 60, 7) = 100", got)
+	}
+	if got := ph.QSMCharge(5); got != 150 {
+		t.Errorf("QSM charge = %g, want g*m_rw = 150", got)
+	}
+	ph2 := phase([]uint64{5}, []uint64{1}, 40)
+	if got := ph2.QSMCharge(2); got != 40 {
+		t.Errorf("QSM charge = %g, want kappa = 40", got)
+	}
+	if got := ph2.SQSMCharge(2); got != 80 {
+		t.Errorf("s-QSM charge = %g, want g*kappa = 80", got)
+	}
+}
+
+func TestSQSMAtLeastQSM(t *testing.T) {
+	f := func(op, rw uint16, kappa uint8) bool {
+		ph := phase([]uint64{uint64(op)}, []uint64{uint64(rw)}, uint64(kappa))
+		for _, g := range []float64{0.5, 1, 3, 24} {
+			if ph.SQSMCharge(g)+1e-9 < ph.QSMCharge(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommOnlyLeqFull(t *testing.T) {
+	ph := phase([]uint64{1000, 2000}, []uint64{10, 20}, 3)
+	if ph.CommOnlyQSM(3) > ph.QSMCharge(3) {
+		t.Error("comm-only charge exceeds full charge")
+	}
+}
+
+func TestProfileSums(t *testing.T) {
+	pr := &Profile{P: 2, Phases: []*PhaseProfile{
+		phase([]uint64{10, 20}, []uint64{5, 5}, 0),
+		phase([]uint64{30, 5}, []uint64{0, 8}, 0),
+	}}
+	if got := pr.QSMTime(1); got != 20+30 {
+		t.Errorf("QSMTime = %g, want 50", got)
+	}
+	if pr.NumPhases() != 2 {
+		t.Error("NumPhases wrong")
+	}
+	if got := pr.TotalRemoteWords(); got != 18 {
+		t.Errorf("TotalRemoteWords = %d, want 18", got)
+	}
+	// BSP adds L per phase.
+	if got := pr.BSPTime(1, 100); got != 20+30+200 {
+		t.Errorf("BSPTime = %g, want 250", got)
+	}
+	bspComm := pr.BSPCommTime(2, 100)
+	if bspComm != 2*5+2*8+200 {
+		t.Errorf("BSPCommTime = %g, want 226", bspComm)
+	}
+}
+
+func TestLogPCommCharges(t *testing.T) {
+	ph := phase([]uint64{0, 0}, []uint64{10, 0}, 0)
+	ph.Msgs[0] = 4
+	pr := &Profile{P: 2, Phases: []*PhaseProfile{ph}}
+	got := pr.LogPCommTime(2, 100, 50)
+	want := 2.0*50*4 + 2*10 + 100
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("LogPCommTime = %g, want %g", got, want)
+	}
+}
+
+func TestResolveLayoutDefaults(t *testing.T) {
+	l := ResolveLayout(LayoutSpec{}, 100, 4, LayoutDefault, 1)
+	if l.Kind != LayoutBlocked {
+		t.Errorf("default of default should be blocked, got %v", l.Kind)
+	}
+	l = ResolveLayout(LayoutSpec{}, 100, 4, LayoutHashed, 1)
+	if l.Kind != LayoutHashed {
+		t.Errorf("backend default not honoured: %v", l.Kind)
+	}
+	l = ResolveLayout(LayoutSpec{Kind: LayoutCyclic}, 100, 4, LayoutHashed, 1)
+	if l.Kind != LayoutCyclic {
+		t.Errorf("explicit spec not honoured: %v", l.Kind)
+	}
+}
+
+func TestLayoutOwnerOf(t *testing.T) {
+	blocked := ResolveLayout(LayoutSpec{Kind: LayoutBlocked}, 10, 4, 0, 1)
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3}
+	for i, w := range want {
+		if got := blocked.OwnerOf(i); got != w {
+			t.Errorf("blocked OwnerOf(%d) = %d, want %d", i, got, w)
+		}
+	}
+	cyclic := ResolveLayout(LayoutSpec{Kind: LayoutCyclic}, 10, 4, 0, 1)
+	for i := 0; i < 10; i++ {
+		if cyclic.OwnerOf(i) != i%4 {
+			t.Fatal("cyclic ownership wrong")
+		}
+	}
+	single := ResolveLayout(LayoutSpec{Kind: LayoutSingle, Owner: 2}, 10, 4, 0, 1)
+	for i := 0; i < 10; i++ {
+		if single.OwnerOf(i) != 2 {
+			t.Fatal("single ownership wrong")
+		}
+	}
+}
+
+func TestLayoutHashedBalanced(t *testing.T) {
+	l := ResolveLayout(LayoutSpec{Kind: LayoutHashed}, 80000, 8, 0, 12345)
+	per := l.PerOwner(0, 80000)
+	for o, c := range per {
+		if c < 9000 || c > 11000 {
+			t.Errorf("hashed owner %d holds %d of 80000, want ~10000", o, c)
+		}
+	}
+}
+
+func TestLayoutPerOwnerMatchesOwnerOf(t *testing.T) {
+	kinds := []LayoutKind{LayoutBlocked, LayoutCyclic, LayoutHashed, LayoutSingle}
+	f := func(nRaw uint8, offRaw, lenRaw uint8, kindIdx uint8) bool {
+		n := int(nRaw)%200 + 1
+		p := 5
+		off := int(offRaw) % n
+		cnt := int(lenRaw) % (n - off)
+		l := ResolveLayout(LayoutSpec{Kind: kinds[kindIdx%4], Owner: 3}, n, p, 0, 77)
+		per := l.PerOwner(off, cnt)
+		want := make([]int, p)
+		for i := off; i < off+cnt; i++ {
+			want[l.OwnerOf(i)]++
+		}
+		for o := range want {
+			if per[o] != want[o] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutSpansCoverExactly(t *testing.T) {
+	kinds := []LayoutKind{LayoutBlocked, LayoutCyclic, LayoutHashed, LayoutSingle}
+	f := func(nRaw, offRaw, lenRaw, kindIdx uint8) bool {
+		n := int(nRaw)%150 + 1
+		off := int(offRaw) % n
+		cnt := int(lenRaw) % (n - off)
+		l := ResolveLayout(LayoutSpec{Kind: kinds[kindIdx%4], Owner: 1}, n, 4, 0, 9)
+		cursor := off
+		total := 0
+		ok := true
+		l.Spans(off, cnt, func(owner, so, c int) {
+			if so != cursor || c <= 0 {
+				ok = false
+				return
+			}
+			for i := so; i < so+c; i++ {
+				if l.OwnerOf(i) != owner {
+					ok = false
+				}
+			}
+			cursor += c
+			total += c
+		})
+		return ok && total == cnt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOwnsRange(t *testing.T) {
+	l := ResolveLayout(LayoutSpec{Kind: LayoutBlocked}, 12, 4, 0, 1)
+	if !l.OwnsRange(0, 0, 3) {
+		t.Error("proc 0 should own [0,3)")
+	}
+	if l.OwnsRange(0, 0, 4) {
+		t.Error("proc 0 should not own [0,4)")
+	}
+	if !l.OwnsRange(3, 9, 3) {
+		t.Error("last proc should own the tail")
+	}
+	h := ResolveLayout(LayoutSpec{Kind: LayoutHashed}, 1000, 4, 0, 5)
+	if h.OwnsRange(0, 0, 100) {
+		t.Error("hashed layout almost surely does not give one proc 100 consecutive words")
+	}
+	s := ResolveLayout(LayoutSpec{Kind: LayoutSingle, Owner: 2}, 50, 4, 0, 1)
+	if !s.OwnsRange(2, 0, 50) || s.OwnsRange(1, 0, 1) {
+		t.Error("single ownership wrong")
+	}
+}
+
+func TestMaxHelpers(t *testing.T) {
+	ph := &PhaseProfile{
+		Ops:       []uint64{3, 9, 1},
+		SentWords: []uint64{5, 2, 0},
+		RecvWords: []uint64{1, 8, 2},
+		Msgs:      []uint64{4, 0, 2},
+	}
+	if ph.MaxOps() != 9 || ph.MaxH() != 8 || ph.MaxMsgs() != 4 {
+		t.Errorf("maxima wrong: ops=%d h=%d msgs=%d", ph.MaxOps(), ph.MaxH(), ph.MaxMsgs())
+	}
+}

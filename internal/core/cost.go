@@ -1,0 +1,157 @@
+package core
+
+import "math"
+
+// PhaseProfile records, for one bulk-synchronous phase, the quantities the
+// cost models charge for. Slices are indexed by processor.
+type PhaseProfile struct {
+	// Ops is per-processor local computation, in operations (the unit QSM's
+	// m_op is expressed in).
+	Ops []uint64
+	// OpCycles is per-processor local computation in model cycles.
+	OpCycles []uint64
+	// RW is the per-processor count of remote shared-memory words read or
+	// written (m_rw excludes accesses a processor makes to its own
+	// partition, which need no communication).
+	RW []uint64
+	// SentWords and RecvWords are per-processor h-relation sides for
+	// BSP/LogP charging.
+	SentWords []uint64
+	RecvWords []uint64
+	// Msgs is the per-processor message count (for LogP's overhead term).
+	Msgs []uint64
+	// Kappa is the maximum number of accesses to any single shared word, or
+	// 0 if contention tracking was disabled.
+	Kappa uint64
+}
+
+// MaxOps returns m_op: the maximum local operations on any processor.
+func (ph *PhaseProfile) MaxOps() uint64 { return maxOf(ph.Ops) }
+
+// MaxOpCycles returns the maximum local cycles on any processor.
+func (ph *PhaseProfile) MaxOpCycles() uint64 { return maxOf(ph.OpCycles) }
+
+// MaxRW returns m_rw: the maximum remote words accessed by any processor.
+func (ph *PhaseProfile) MaxRW() uint64 { return maxOf(ph.RW) }
+
+// MaxH returns the BSP h-relation: the maximum over processors of
+// max(sent, received) words.
+func (ph *PhaseProfile) MaxH() uint64 {
+	h := maxOf(ph.SentWords)
+	if r := maxOf(ph.RecvWords); r > h {
+		h = r
+	}
+	return h
+}
+
+// MaxMsgs returns the maximum messages sent by any processor.
+func (ph *PhaseProfile) MaxMsgs() uint64 { return maxOf(ph.Msgs) }
+
+func maxOf(xs []uint64) uint64 {
+	var m uint64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// QSMCharge returns the QSM time cost of the phase,
+// max(m_op, g*m_rw, kappa), in operation units.
+func (ph *PhaseProfile) QSMCharge(g float64) float64 {
+	return math.Max(float64(ph.MaxOps()),
+		math.Max(g*float64(ph.MaxRW()), float64(ph.Kappa)))
+}
+
+// SQSMCharge returns the s-QSM (symmetric QSM) time cost,
+// max(m_op, g*m_rw, g*kappa).
+func (ph *PhaseProfile) SQSMCharge(g float64) float64 {
+	return math.Max(float64(ph.MaxOps()),
+		math.Max(g*float64(ph.MaxRW()), g*float64(ph.Kappa)))
+}
+
+// CommOnlyQSM returns the communication part of the QSM charge,
+// max(g*m_rw, kappa); the paper's prediction lines chart communication time
+// separately from local computation.
+func (ph *PhaseProfile) CommOnlyQSM(g float64) float64 {
+	return math.Max(g*float64(ph.MaxRW()), float64(ph.Kappa))
+}
+
+// Profile is the sequence of phase profiles of a complete run.
+type Profile struct {
+	P      int
+	Phases []*PhaseProfile
+}
+
+// QSMTime sums the QSM charges over all phases.
+func (pr *Profile) QSMTime(g float64) float64 {
+	var t float64
+	for _, ph := range pr.Phases {
+		t += ph.QSMCharge(g)
+	}
+	return t
+}
+
+// SQSMTime sums the s-QSM charges over all phases.
+func (pr *Profile) SQSMTime(g float64) float64 {
+	var t float64
+	for _, ph := range pr.Phases {
+		t += ph.SQSMCharge(g)
+	}
+	return t
+}
+
+// QSMCommTime sums the communication-only QSM charges over all phases.
+func (pr *Profile) QSMCommTime(g float64) float64 {
+	var t float64
+	for _, ph := range pr.Phases {
+		t += ph.CommOnlyQSM(g)
+	}
+	return t
+}
+
+// BSPTime charges each phase max(m_op_cycles, g*h) + L: the BSP cost with
+// the per-phase synchronization term the QSM omits.
+func (pr *Profile) BSPTime(g float64, l float64) float64 {
+	var t float64
+	for _, ph := range pr.Phases {
+		t += math.Max(float64(ph.MaxOpCycles()), g*float64(ph.MaxH())) + l
+	}
+	return t
+}
+
+// BSPCommTime is BSPTime without the local-computation term:
+// per phase, g*h + L.
+func (pr *Profile) BSPCommTime(g float64, l float64) float64 {
+	var t float64
+	for _, ph := range pr.Phases {
+		t += g*float64(ph.MaxH()) + l
+	}
+	return t
+}
+
+// LogPCommTime charges per phase 2*o*msgs + g*h + l: per-message overhead at
+// sender and receiver, bandwidth, and one pipelined latency per phase.
+func (pr *Profile) LogPCommTime(g, l, o float64) float64 {
+	var t float64
+	for _, ph := range pr.Phases {
+		t += 2*o*float64(ph.MaxMsgs()) + g*float64(ph.MaxH()) + l
+	}
+	return t
+}
+
+// NumPhases returns the number of recorded phases.
+func (pr *Profile) NumPhases() int { return len(pr.Phases) }
+
+// TotalRemoteWords returns the sum over phases of the aggregate (not max)
+// remote words, a measure of total communication volume W.
+func (pr *Profile) TotalRemoteWords() uint64 {
+	var w uint64
+	for _, ph := range pr.Phases {
+		for _, x := range ph.RW {
+			w += x
+		}
+	}
+	return w
+}

@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// FuzzLayoutInvariants checks every layout kind on arbitrary geometry:
+// owners are in range, PerOwner matches OwnerOf, and spans cover the range
+// exactly once.
+func FuzzLayoutInvariants(f *testing.F) {
+	f.Add(uint16(10), uint8(4), uint8(0), uint8(5), uint64(1))
+	f.Add(uint16(257), uint8(7), uint8(3), uint8(100), uint64(99))
+	f.Fuzz(func(t *testing.T, nRaw uint16, pRaw, kindRaw, lenRaw uint8, hseed uint64) {
+		n := int(nRaw)%1000 + 1
+		p := int(pRaw)%16 + 1
+		kinds := []LayoutKind{LayoutBlocked, LayoutCyclic, LayoutHashed, LayoutSingle}
+		kind := kinds[int(kindRaw)%len(kinds)]
+		owner := int(hseed % uint64(p))
+		l := ResolveLayout(LayoutSpec{Kind: kind, Owner: owner}, n, p, LayoutBlocked, hseed)
+
+		off := int(lenRaw) % n
+		cnt := n - off
+		per := l.PerOwner(off, cnt)
+		total := 0
+		for o, c := range per {
+			if c < 0 {
+				t.Fatalf("negative count for owner %d", o)
+			}
+			total += c
+		}
+		if total != cnt {
+			t.Fatalf("PerOwner covers %d of %d", total, cnt)
+		}
+		for i := off; i < off+cnt; i++ {
+			if o := l.OwnerOf(i); o < 0 || o >= p {
+				t.Fatalf("OwnerOf(%d) = %d out of range", i, o)
+			}
+		}
+		covered := 0
+		cursor := off
+		l.Spans(off, cnt, func(o, so, c int) {
+			if so != cursor || c <= 0 || o < 0 || o >= p {
+				t.Fatalf("bad span (%d,%d,%d) at cursor %d", o, so, c, cursor)
+			}
+			cursor += c
+			covered += c
+		})
+		if covered != cnt {
+			t.Fatalf("spans cover %d of %d", covered, cnt)
+		}
+	})
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// Ownership lets the cost recorder classify shared-memory accesses as local
+// or remote and attribute traffic to owners. Backends implement it for their
+// data layouts.
+type Ownership interface {
+	// OwnerOf returns the processor owning word i of handle h.
+	OwnerOf(h Handle, i int) int
+	// PerOwner returns, for the range [off, off+n) of h, how many words
+	// each processor owns. The result has length P.
+	PerOwner(h Handle, off, n int) []int
+}
+
+// Flags selects which (potentially expensive) checks a Collector performs.
+type Flags struct {
+	// CheckRules verifies the QSM bulk-synchrony contract: no shared word
+	// is both read and written within a single phase.
+	CheckRules bool
+	// TrackKappa computes the exact per-phase contention kappa (the maximum
+	// number of accesses to any single word).
+	TrackKappa bool
+}
+
+// Collector accumulates phase profiles from the Recorders of all
+// processors. It is safe for concurrent use by the native backend.
+type Collector struct {
+	mu    sync.Mutex
+	p     int
+	own   Ownership
+	cost  cpu.Model
+	flags Flags
+
+	phases  []*PhaseProfile
+	traffic [][][]uint64 // per phase: p x p words sent i -> j
+	spans   []*phaseSpans
+	errs    []error
+}
+
+type span struct{ lo, hi int } // [lo, hi)
+
+type phaseSpans struct {
+	reads  map[Handle][]span
+	writes map[Handle][]span
+}
+
+// NewCollector creates a collector for p processors. own attributes accesses
+// (nil disables remote/local classification and traffic accounting); cost
+// converts OpBlocks to cycles (nil uses the Table 2 analytic model).
+func NewCollector(p int, own Ownership, cost cpu.Model, flags Flags) *Collector {
+	if cost == nil {
+		cost = cpu.NewAnalytic(cpu.Table2())
+	}
+	return &Collector{p: p, own: own, cost: cost, flags: flags}
+}
+
+// P returns the processor count.
+func (c *Collector) P() int { return c.p }
+
+func (c *Collector) phase(k int) (*PhaseProfile, *phaseSpans, [][]uint64) {
+	for len(c.phases) <= k {
+		c.phases = append(c.phases, &PhaseProfile{
+			Ops:       make([]uint64, c.p),
+			OpCycles:  make([]uint64, c.p),
+			RW:        make([]uint64, c.p),
+			SentWords: make([]uint64, c.p),
+			RecvWords: make([]uint64, c.p),
+			Msgs:      make([]uint64, c.p),
+		})
+		t := make([][]uint64, c.p)
+		for i := range t {
+			t[i] = make([]uint64, c.p)
+		}
+		c.traffic = append(c.traffic, t)
+		c.spans = append(c.spans, &phaseSpans{
+			reads:  map[Handle][]span{},
+			writes: map[Handle][]span{},
+		})
+	}
+	return c.phases[k], c.spans[k], c.traffic[k]
+}
+
+func (c *Collector) recordCompute(proc, phase int, b cpu.OpBlock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ph, _, _ := c.phase(phase)
+	ph.Ops[proc] += b.Ops()
+	ph.OpCycles[proc] += c.cost.Cycles(b)
+}
+
+func (c *Collector) recordRange(proc, phase int, h Handle, off, n int, write bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ph, sp, tr := c.phase(phase)
+	if c.own != nil {
+		per := c.own.PerOwner(h, off, n)
+		for owner, w := range per {
+			if w == 0 {
+				continue
+			}
+			if owner != proc {
+				ph.RW[proc] += uint64(w)
+				if write {
+					tr[proc][owner] += uint64(w)
+				} else {
+					tr[owner][proc] += uint64(w) // data flows owner -> reader
+				}
+			}
+		}
+	} else {
+		ph.RW[proc] += uint64(n)
+	}
+	if c.flags.CheckRules || c.flags.TrackKappa {
+		m := sp.reads
+		if write {
+			m = sp.writes
+		}
+		m[h] = append(m[h], span{off, off + n})
+	}
+}
+
+func (c *Collector) recordIndexed(proc, phase int, h Handle, idx []int, write bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ph, sp, tr := c.phase(phase)
+	if c.own != nil {
+		for _, i := range idx {
+			owner := c.own.OwnerOf(h, i)
+			if owner != proc {
+				ph.RW[proc]++
+				if write {
+					tr[proc][owner]++
+				} else {
+					tr[owner][proc]++
+				}
+			}
+		}
+	} else {
+		ph.RW[proc] += uint64(len(idx))
+	}
+	if c.flags.CheckRules || c.flags.TrackKappa {
+		m := sp.reads
+		if write {
+			m = sp.writes
+		}
+		spans := m[h]
+		for _, i := range idx {
+			spans = append(spans, span{i, i + 1})
+		}
+		m[h] = spans
+	}
+}
+
+// Finish resolves per-phase aggregates (message counts, h-relations, kappa)
+// and returns the run profile. It reports the first bulk-synchrony rule
+// violation found, if rule checking was enabled.
+func (c *Collector) Finish() (*Profile, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, ph := range c.phases {
+		tr := c.traffic[k]
+		for i := 0; i < c.p; i++ {
+			for j := 0; j < c.p; j++ {
+				if i == j {
+					continue
+				}
+				w := tr[i][j]
+				if w > 0 {
+					ph.SentWords[i] += w
+					ph.RecvWords[j] += w
+					ph.Msgs[i]++
+				}
+			}
+		}
+		sp := c.spans[k]
+		if c.flags.CheckRules {
+			if err := checkRules(sp); err != nil {
+				c.errs = append(c.errs, fmt.Errorf("phase %d: %w", k, err))
+			}
+		}
+		if c.flags.TrackKappa {
+			ph.Kappa = kappaOf(sp)
+		}
+	}
+	pr := &Profile{P: c.p, Phases: c.phases}
+	if len(c.errs) > 0 {
+		return pr, c.errs[0]
+	}
+	return pr, nil
+}
+
+// checkRules detects a shared word both read and written in one phase.
+func checkRules(sp *phaseSpans) error {
+	for h, writes := range sp.writes {
+		reads := sp.reads[h]
+		if len(reads) == 0 {
+			continue
+		}
+		ws := append([]span(nil), writes...)
+		rs := append([]span(nil), reads...)
+		sort.Slice(ws, func(i, j int) bool { return ws[i].lo < ws[j].lo })
+		sort.Slice(rs, func(i, j int) bool { return rs[i].lo < rs[j].lo })
+		i := 0
+		for _, r := range rs {
+			for i < len(ws) && ws[i].hi <= r.lo {
+				i++
+			}
+			if i < len(ws) && ws[i].lo < r.hi {
+				return fmt.Errorf("QSM rule violation: handle %d word range [%d,%d) both read and written", h, max(r.lo, ws[i].lo), min(r.hi, ws[i].hi))
+			}
+		}
+	}
+	return nil
+}
+
+// kappaOf computes the maximum number of accesses covering any single word.
+func kappaOf(sp *phaseSpans) uint64 {
+	type edge struct {
+		at    int
+		delta int
+	}
+	var best int
+	handles := map[Handle][]edge{}
+	add := func(m map[Handle][]span) {
+		for h, spans := range m {
+			for _, s := range spans {
+				handles[h] = append(handles[h], edge{s.lo, 1}, edge{s.hi, -1})
+			}
+		}
+	}
+	add(sp.reads)
+	add(sp.writes)
+	for _, edges := range handles {
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].at != edges[j].at {
+				return edges[i].at < edges[j].at
+			}
+			return edges[i].delta < edges[j].delta // close before open
+		})
+		depth := 0
+		for _, e := range edges {
+			depth += e.delta
+			if depth > best {
+				best = depth
+			}
+		}
+	}
+	return uint64(best)
+}
+
+// Recorder wraps a backend Ctx and reports every operation to a Collector.
+type Recorder struct {
+	inner Ctx
+	c     *Collector
+	phase int
+}
+
+// NewRecorder wraps ctx so that its activity is recorded into c.
+func NewRecorder(ctx Ctx, c *Collector) *Recorder {
+	return &Recorder{inner: ctx, c: c}
+}
+
+// ID implements Ctx.
+func (r *Recorder) ID() int { return r.inner.ID() }
+
+// P implements Ctx.
+func (r *Recorder) P() int { return r.inner.P() }
+
+// Register implements Ctx.
+func (r *Recorder) Register(name string, n int) Handle { return r.inner.Register(name, n) }
+
+// RegisterSpec implements Ctx.
+func (r *Recorder) RegisterSpec(name string, n int, spec LayoutSpec) Handle {
+	return r.inner.RegisterSpec(name, n, spec)
+}
+
+// Free implements Ctx.
+func (r *Recorder) Free(h Handle) { r.inner.Free(h) }
+
+// ReadLocal implements Ctx. Private-memory accesses are local computation,
+// so no remote words are recorded.
+func (r *Recorder) ReadLocal(h Handle, off int, dst []int64) { r.inner.ReadLocal(h, off, dst) }
+
+// WriteLocal implements Ctx.
+func (r *Recorder) WriteLocal(h Handle, off int, src []int64) { r.inner.WriteLocal(h, off, src) }
+
+// Put implements Ctx.
+func (r *Recorder) Put(h Handle, off int, src []int64) {
+	r.c.recordRange(r.ID(), r.phase, h, off, len(src), true)
+	r.inner.Put(h, off, src)
+}
+
+// Get implements Ctx.
+func (r *Recorder) Get(h Handle, off int, dst []int64) {
+	r.c.recordRange(r.ID(), r.phase, h, off, len(dst), false)
+	r.inner.Get(h, off, dst)
+}
+
+// PutIndexed implements Ctx.
+func (r *Recorder) PutIndexed(h Handle, idx []int, src []int64) {
+	r.c.recordIndexed(r.ID(), r.phase, h, idx, true)
+	r.inner.PutIndexed(h, idx, src)
+}
+
+// GetIndexed implements Ctx.
+func (r *Recorder) GetIndexed(h Handle, idx []int, dst []int64) {
+	r.c.recordIndexed(r.ID(), r.phase, h, idx, false)
+	r.inner.GetIndexed(h, idx, dst)
+}
+
+// Sync implements Ctx.
+func (r *Recorder) Sync() {
+	r.inner.Sync()
+	r.phase++
+}
+
+// Compute implements Ctx.
+func (r *Recorder) Compute(b cpu.OpBlock) {
+	r.c.recordCompute(r.ID(), r.phase, b)
+	r.inner.Compute(b)
+}
+
+// Rand implements Ctx.
+func (r *Recorder) Rand() *rand.Rand { return r.inner.Rand() }

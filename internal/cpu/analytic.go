@@ -1,0 +1,168 @@
+package cpu
+
+import "math"
+
+// Model converts aggregate local computation (an OpBlock) into cycles.
+type Model interface {
+	// Cycles returns the simulated execution time of the block.
+	Cycles(b OpBlock) uint64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Analytic is the closed-form node timing model. It bounds execution by the
+// tightest of the issue-width, per-functional-unit, and dependency-chain
+// throughput limits, then adds memory and branch stall terms estimated from
+// the block's reference pattern and footprint. Its estimates are validated
+// against the Detailed core by the package tests.
+type Analytic struct {
+	P Params
+	// MissOverlap is the fraction of an independent (non-chained) miss's
+	// penalty that the out-of-order window cannot hide. 1 means fully
+	// exposed, 0 fully hidden. Calibrated against Detailed.
+	MissOverlap float64
+}
+
+// NewAnalytic returns the analytic model with default calibration.
+func NewAnalytic(p Params) *Analytic {
+	return &Analytic{P: p, MissOverlap: 0.55}
+}
+
+// Name implements Model.
+func (a *Analytic) Name() string { return "cpu-analytic" }
+
+// Cycles implements Model.
+func (a *Analytic) Cycles(b OpBlock) uint64 {
+	total := b.Ops()
+	if total == 0 {
+		return 0
+	}
+	p := a.P
+
+	// Throughput limits.
+	issue := float64(total) / float64(p.IssueWidth)
+	intish := float64(b.Int+b.Branches) / float64(p.IntUnits)
+	fp := float64(b.FP) / float64(p.FPUnits)
+	ls := float64(b.Loads+b.Stores) / float64(p.LSUnits)
+	bound := math.Max(math.Max(issue, intish), math.Max(fp, ls))
+
+	// Dependency-chain limit: chained ALU ops execute one per cycle; a
+	// pointer chase serialises each load's full memory latency.
+	m1, m2 := a.missRates(b)
+	l1, l2, mem := p.MemLatency()
+	avgLoad := float64(l1) + m1*(float64(l2)+m2*float64(mem-l2))
+	chain := b.ChainFrac * float64(b.Int+b.FP)
+	if b.Pattern == PointerChase {
+		chain += float64(b.Loads) * avgLoad
+	}
+	bound = math.Max(bound, chain)
+
+	// Memory stalls beyond the L1 hits already covered by throughput. For
+	// independent accesses the out-of-order window overlaps most of a
+	// miss's penalty; dependences through ALU chains reduce the memory
+	// parallelism the window can extract, so the exposed fraction grows
+	// with ChainFrac up to MissOverlap. Pointer chases already charge full
+	// latency in the chain bound above.
+	var memStall float64
+	if b.Pattern != PointerChase {
+		accesses := float64(b.Loads + b.Stores)
+		missPenalty := m1 * (float64(l2) + m2*float64(mem-l2))
+		exposed := 0.15 + (a.MissOverlap-0.15)*b.ChainFrac
+		memStall = accesses * missPenalty * exposed
+	}
+
+	// Branch stalls: a 2-bit counter on outcomes taken with probability t
+	// mispredicts roughly at the rate of the minority outcome; 2t(1-t) is a
+	// standard smooth approximation.
+	t := b.TakenProb
+	mr := 2 * t * (1 - t)
+	branchStall := float64(b.Branches) * mr * float64(p.MispredictFlush+2)
+
+	const pipelineFill = 12
+	return uint64(bound + memStall + branchStall + pipelineFill)
+}
+
+// missRates estimates (L1 miss rate, fraction of L1 misses missing L2) for
+// the block's pattern and footprint using capacity arguments.
+func (a *Analytic) missRates(b OpBlock) (m1, m2 float64) {
+	p := a.P
+	foot := float64(b.Footprint)
+	if foot == 0 {
+		return 0, 0
+	}
+	accesses := float64(b.Loads + b.Stores)
+	if accesses == 0 {
+		return 0, 0
+	}
+	line := float64(p.LineSize)
+	switch b.Pattern {
+	case Sequential, Strided:
+		stride := float64(b.Stride)
+		if b.Pattern == Sequential || stride == 0 {
+			stride = 8
+		}
+		if stride > line {
+			stride = line
+		}
+		perLine := line / stride // accesses per line fetched
+		cold := foot / line      // compulsory misses
+		if foot <= float64(p.L1Size) {
+			m1 = math.Min(1, cold/accesses)
+			return m1, 0
+		}
+		// Streaming: every line fetch misses L1.
+		m1 = 1 / perLine
+		if foot <= float64(p.L2Size) {
+			return m1, math.Min(1, cold/(accesses*m1))
+		}
+		return m1, 1
+	default: // RandomAccess, PointerChase
+		if foot <= float64(p.L1Size) {
+			return 0, 0
+		}
+		m1 = 1 - float64(p.L1Size)/foot
+		if foot <= float64(p.L2Size) {
+			return m1, 0
+		}
+		m2 = 1 - float64(p.L2Size)/foot
+		return m1, m2
+	}
+}
+
+// DetailedModel adapts the Detailed core to the Model interface by
+// generating a bounded synthetic trace for the block and scaling the
+// simulated cycles back up to the full operation count.
+type DetailedModel struct {
+	Core    *Detailed
+	MaxOps  int // trace sample cap; 0 means unbounded
+	Seed    int64
+	counter int64
+}
+
+// NewDetailedModel wraps a fresh Detailed core; traces are sampled to at
+// most maxOps operations.
+func NewDetailedModel(p Params, maxOps int, seed int64) *DetailedModel {
+	return &DetailedModel{Core: NewDetailed(p), MaxOps: maxOps, Seed: seed}
+}
+
+// Name implements Model.
+func (d *DetailedModel) Name() string { return "cpu-detailed" }
+
+// Cycles implements Model.
+func (d *DetailedModel) Cycles(b OpBlock) uint64 {
+	total := b.Ops()
+	if total == 0 {
+		return 0
+	}
+	d.counter++
+	rng := newTraceRand(d.Seed, d.counter)
+	trace := GenerateTrace(b, d.MaxOps, rng)
+	if len(trace) == 0 {
+		return 0
+	}
+	cycles := d.Core.Run(trace)
+	if uint64(len(trace)) < total {
+		cycles = uint64(float64(cycles) * float64(total) / float64(len(trace)))
+	}
+	return cycles
+}

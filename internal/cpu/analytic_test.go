@@ -1,0 +1,204 @@
+package cpu
+
+import (
+	"testing"
+)
+
+func TestAnalyticZeroBlock(t *testing.T) {
+	a := NewAnalytic(Table2())
+	if c := a.Cycles(OpBlock{}); c != 0 {
+		t.Errorf("zero block = %d cycles, want 0", c)
+	}
+}
+
+func TestAnalyticScalesLinearly(t *testing.T) {
+	a := NewAnalytic(Table2())
+	small := a.Cycles(BlockPrefixSum(10000))
+	large := a.Cycles(BlockPrefixSum(100000))
+	// 10x the elements is at least 10x the work; crossing the L2 capacity
+	// (80KB -> 800KB footprint) legitimately adds memory stalls on top.
+	ratio := float64(large) / float64(small)
+	if ratio < 8 || ratio > 14 {
+		t.Errorf("10x work gave %.2fx cycles, want 10x plus cache effects", ratio)
+	}
+}
+
+func TestAnalyticNLogNKernel(t *testing.T) {
+	a := NewAnalytic(Table2())
+	c1 := a.Cycles(BlockQuickSort(1 << 12))
+	c2 := a.Cycles(BlockQuickSort(1 << 16))
+	// n lg n: 16x elements is ~21x work; the larger instance also spills
+	// out of L2 (32KB -> 512KB), adding memory stalls.
+	ratio := float64(c2) / float64(c1)
+	if ratio < 15 || ratio > 45 {
+		t.Errorf("quicksort scaling ratio = %.1f, want ~21-40", ratio)
+	}
+}
+
+func TestAnalyticPointerChaseCostly(t *testing.T) {
+	a := NewAnalytic(Table2())
+	n := 100000
+	seq := a.Cycles(BlockPrefixSum(n))
+	chase := a.Cycles(BlockListTraverse(n))
+	if chase < 2*seq {
+		t.Errorf("pointer chase (%d) should be much slower than sequential (%d)", chase, seq)
+	}
+}
+
+// agreement runs both models on a block and returns detailed/analytic.
+func agreement(t *testing.T, b OpBlock) float64 {
+	t.Helper()
+	a := NewAnalytic(Table2())
+	d := NewDetailedModel(Table2(), 200000, 1)
+	ca := a.Cycles(b)
+	cd := d.Cycles(b)
+	if ca == 0 || cd == 0 {
+		t.Fatalf("zero cycles: analytic=%d detailed=%d", ca, cd)
+	}
+	return float64(cd) / float64(ca)
+}
+
+// The analytic model is the production model for sweeps; hold it to within
+// a factor band of the detailed core on every kernel in the library. The
+// bands are deliberately loose — the models bound different effects — but
+// catch gross regressions (an order-of-magnitude drift breaks experiments).
+func TestAnalyticVsDetailedKernels(t *testing.T) {
+	kernels := []struct {
+		name string
+		b    OpBlock
+		lo   float64
+		hi   float64
+	}{
+		{"sum", BlockSum(50000), 0.3, 3},
+		{"prefix", BlockPrefixSum(50000), 0.3, 3},
+		{"copy", BlockCopy(50000), 0.3, 3},
+		{"quicksort", BlockQuickSort(20000), 0.3, 3.5},
+		{"bucketize", BlockBucketize(20000, 16), 0.3, 3.5},
+		{"traverse", BlockListTraverse(20000), 0.25, 3},
+		{"flipgen", BlockFlipGenerate(50000), 0.3, 3},
+		{"compact", BlockCompact(50000), 0.3, 3},
+		{"scatter", BlockScatter(50000, 8*50000), 0.3, 3},
+	}
+	for _, k := range kernels {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			r := agreement(t, k.b)
+			if r < k.lo || r > k.hi {
+				t.Errorf("detailed/analytic = %.2f, want in [%.2g, %.2g]", r, k.lo, k.hi)
+			}
+		})
+	}
+}
+
+func TestDetailedModelSamplingScales(t *testing.T) {
+	// A sampled run of a huge block should land near an unsampled run of
+	// the same block shape (smaller instance scaled up).
+	dm := NewDetailedModel(Table2(), 50000, 1)
+	big := dm.Cycles(BlockSum(2000000))
+	dm2 := NewDetailedModel(Table2(), 0, 1)
+	small := dm2.Cycles(BlockSum(200000))
+	ratio := float64(big) / (10 * float64(small))
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("sampled scaling off by %.2fx", ratio)
+	}
+}
+
+func TestOpBlockAdd(t *testing.T) {
+	a := BlockSum(100)
+	b := BlockQuickSort(1000)
+	s := a.Add(b)
+	if s.Int != a.Int+b.Int || s.Loads != a.Loads+b.Loads {
+		t.Error("Add did not sum counts")
+	}
+	if s.Pattern != b.Pattern {
+		t.Error("Add should take pattern from larger-footprint block")
+	}
+}
+
+func TestOpBlockScale(t *testing.T) {
+	b := BlockSum(10).Scale(3)
+	if b.Int != 3*BlockSum(10).Int {
+		t.Error("Scale did not multiply counts")
+	}
+}
+
+func TestParamsHelpers(t *testing.T) {
+	p := Table2()
+	l1, l2, mem := p.MemLatency()
+	if l1 != 1 || l2 != 3 || mem != 10 {
+		t.Errorf("latencies = %d,%d,%d, want 1,3,10", l1, l2, mem)
+	}
+	if us := p.CyclesToMicros(400); us != 1 {
+		t.Errorf("400 cycles at 400MHz = %gus, want 1", us)
+	}
+	if (Params{}).CyclesToMicros(100) != 0 {
+		t.Error("zero clock should give 0")
+	}
+}
+
+func TestGenerateTraceCounts(t *testing.T) {
+	b := OpBlock{Int: 100, Loads: 50, Stores: 25, Branches: 10, FP: 5,
+		Pattern: Sequential, Footprint: 4096, TakenProb: 0.9}
+	trace := GenerateTrace(b, 0, newTraceRand(1, 1))
+	var got OpBlock
+	for _, op := range trace {
+		switch op.Class {
+		case IntALU:
+			got.Int++
+		case FPALU:
+			got.FP++
+		case Load:
+			got.Loads++
+		case Store:
+			got.Stores++
+		case Branch:
+			got.Branches++
+		}
+	}
+	if got.Int != b.Int || got.FP != b.FP || got.Loads != b.Loads ||
+		got.Stores != b.Stores || got.Branches != b.Branches {
+		t.Errorf("trace counts %+v, want %+v", got, b)
+	}
+}
+
+func TestGenerateTraceCap(t *testing.T) {
+	b := BlockSum(100000)
+	trace := GenerateTrace(b, 1000, newTraceRand(1, 1))
+	if len(trace) > 1000 {
+		t.Errorf("trace length %d exceeds cap", len(trace))
+	}
+}
+
+func TestGenerateTraceAddressesWithinFootprint(t *testing.T) {
+	b := OpBlock{Loads: 1000, Branches: 100, Pattern: RandomAccess, Footprint: 1 << 16}
+	trace := GenerateTrace(b, 0, newTraceRand(2, 2))
+	for _, op := range trace {
+		if op.Class == Load && op.Addr >= b.Footprint {
+			t.Fatalf("address %#x outside footprint %#x", op.Addr, b.Footprint)
+		}
+	}
+}
+
+func BenchmarkAnalyticModel(b *testing.B) {
+	a := NewAnalytic(Table2())
+	blk := BlockQuickSort(100000)
+	for i := 0; i < b.N; i++ {
+		a.Cycles(blk)
+	}
+}
+
+func BenchmarkDetailedVsAnalyticAblation(b *testing.B) {
+	blk := BlockPrefixSum(100000)
+	b.Run("analytic", func(b *testing.B) {
+		a := NewAnalytic(Table2())
+		for i := 0; i < b.N; i++ {
+			a.Cycles(blk)
+		}
+	})
+	b.Run("detailed-sampled", func(b *testing.B) {
+		d := NewDetailedModel(Table2(), 20000, 1)
+		for i := 0; i < b.N; i++ {
+			d.Cycles(blk)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package cpu
+
+// Predictor is a gshare-style two-level adaptive branch predictor: a global
+// history register XORed with the branch PC indexes a table of 2-bit
+// saturating counters. Calls push onto and returns pop from an unbounded
+// return-address stack, matching Table 2's "subroutine link register stack:
+// unlimited".
+type Predictor struct {
+	table    []uint8 // 2-bit counters
+	mask     uint64
+	history  uint64
+	histMask uint64
+	ras      []uint64
+
+	Lookups, Mispredicts uint64
+}
+
+// NewPredictor builds a predictor with the given table size (a power of two)
+// and global history length in bits.
+func NewPredictor(entries, historyBits int) *Predictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("cpu: predictor entries must be a power of two")
+	}
+	p := &Predictor{
+		table:    make([]uint8, entries),
+		mask:     uint64(entries - 1),
+		histMask: (1 << uint(historyBits)) - 1,
+	}
+	// Initialise counters to weakly taken, the usual convention.
+	for i := range p.table {
+		p.table[i] = 2
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ p.history) & p.mask
+}
+
+// Predict consults the predictor for the branch at pc, updates it with the
+// actual outcome taken, and reports whether the prediction was correct.
+func (p *Predictor) Predict(pc uint64, taken bool) bool {
+	p.Lookups++
+	i := p.index(pc)
+	pred := p.table[i] >= 2
+	if taken && p.table[i] < 3 {
+		p.table[i]++
+	} else if !taken && p.table[i] > 0 {
+		p.table[i]--
+	}
+	p.history = ((p.history << 1) | b2u(taken)) & p.histMask
+	if pred != taken {
+		p.Mispredicts++
+		return false
+	}
+	return true
+}
+
+// Call records a subroutine call whose return address is retAddr.
+func (p *Predictor) Call(retAddr uint64) { p.ras = append(p.ras, retAddr) }
+
+// Return predicts a subroutine return to actual and reports correctness.
+// With an unbounded stack the only way to mispredict is stack underflow.
+func (p *Predictor) Return(actual uint64) bool {
+	p.Lookups++
+	if n := len(p.ras); n > 0 {
+		top := p.ras[n-1]
+		p.ras = p.ras[:n-1]
+		if top == actual {
+			return true
+		}
+	}
+	p.Mispredicts++
+	return false
+}
+
+// MispredictRate returns mispredicts/lookups, or 0 before any lookup.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}
+
+// Reset restores the initial state.
+func (p *Predictor) Reset() {
+	for i := range p.table {
+		p.table[i] = 2
+	}
+	p.history = 0
+	p.ras = p.ras[:0]
+	p.Lookups, p.Mispredicts = 0, 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPredictorLearnsLoop(t *testing.T) {
+	p := NewPredictor(64*1024, 8)
+	// A loop branch: taken 99 times, not taken once, repeated.
+	for rep := 0; rep < 20; rep++ {
+		for i := 0; i < 99; i++ {
+			p.Predict(0x400, true)
+		}
+		p.Predict(0x400, false)
+	}
+	if mr := p.MispredictRate(); mr > 0.05 {
+		t.Errorf("loop branch mispredict rate = %.3f, want < 0.05", mr)
+	}
+}
+
+func TestPredictorRandomBranchNearHalf(t *testing.T) {
+	p := NewPredictor(64*1024, 8)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100000; i++ {
+		p.Predict(0x400, rng.Intn(2) == 0)
+	}
+	if mr := p.MispredictRate(); mr < 0.35 || mr > 0.65 {
+		t.Errorf("random branch mispredict rate = %.3f, want ~0.5", mr)
+	}
+}
+
+func TestPredictorLearnsAlternating(t *testing.T) {
+	// A TNTN pattern is perfectly captured by 8 bits of global history.
+	p := NewPredictor(64*1024, 8)
+	for i := 0; i < 10000; i++ {
+		p.Predict(0x400, i%2 == 0)
+	}
+	if mr := p.MispredictRate(); mr > 0.05 {
+		t.Errorf("alternating mispredict rate = %.3f, want < 0.05", mr)
+	}
+}
+
+func TestPredictorRAS(t *testing.T) {
+	p := NewPredictor(1024, 8)
+	p.Call(0x100)
+	p.Call(0x200)
+	if !p.Return(0x200) {
+		t.Error("return to 0x200 should predict correctly")
+	}
+	if !p.Return(0x100) {
+		t.Error("return to 0x100 should predict correctly")
+	}
+	if p.Return(0x300) {
+		t.Error("underflowed return should mispredict")
+	}
+}
+
+func TestPredictorBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two table did not panic")
+		}
+	}()
+	NewPredictor(1000, 8)
+}
+
+func TestPredictorReset(t *testing.T) {
+	p := NewPredictor(1024, 8)
+	p.Predict(0x10, true)
+	p.Call(0x20)
+	p.Reset()
+	if p.Lookups != 0 || p.Mispredicts != 0 || len(p.ras) != 0 {
+		t.Error("Reset incomplete")
+	}
+}

@@ -1,0 +1,153 @@
+package cpu
+
+// Cache is a set-associative, write-allocate, LRU cache level. Levels are
+// chained through next; an access that misses every level pays the
+// memPenalty of the last level.
+type Cache struct {
+	name      string
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	hitTime   int
+	tags      []uint64 // sets*assoc entries; tag 0 means empty (addresses are offset to avoid tag 0)
+	lru       []uint32 // per-line LRU timestamp
+	clock     uint32
+	next      *Cache
+	memTime   int // total latency when this (last) level misses
+
+	Hits, Misses uint64
+}
+
+// NewCache builds a cache level. size and lineSize are bytes; next is the
+// lower level or nil for the last level before memory, in which case
+// memPenalty is the additional latency of a memory access.
+func NewCache(name string, size, assoc, lineSize, hitTime int, next *Cache, memPenalty int) *Cache {
+	if size <= 0 || assoc <= 0 || lineSize <= 0 || size%(assoc*lineSize) != 0 {
+		panic("cpu: invalid cache geometry")
+	}
+	sets := size / (assoc * lineSize)
+	if sets&(sets-1) != 0 {
+		panic("cpu: cache set count must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
+	return &Cache{
+		name:      name,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		assoc:     assoc,
+		hitTime:   hitTime,
+		tags:      make([]uint64, sets*assoc),
+		lru:       make([]uint32, sets*assoc),
+		next:      next,
+		memTime:   hitTime + memPenalty,
+	}
+}
+
+// Access simulates a read or write of addr and returns its latency in
+// cycles. Writes allocate like reads (write-allocate, write-back; dirty
+// state does not affect timing in this model).
+func (c *Cache) Access(addr uint64) int {
+	line := (addr >> c.lineShift) + 1 // +1 so that tag 0 means "empty"
+	set := int(line & c.setMask)
+	base := set * c.assoc
+	c.clock++
+	victim, oldest := base, c.lru[base]
+	for i := 0; i < c.assoc; i++ {
+		w := base + i
+		if c.tags[w] == line {
+			c.Hits++
+			c.lru[w] = c.clock
+			return c.hitTime
+		}
+		if c.lru[w] < oldest {
+			victim, oldest = w, c.lru[w]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+	if c.next != nil {
+		return c.hitTime + c.next.Access(addr)
+	}
+	return c.memTime
+}
+
+// MissRate returns misses/(hits+misses), or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.clock = 0
+	c.Hits, c.Misses = 0, 0
+	if c.next != nil {
+		c.next.Reset()
+	}
+}
+
+// fill inserts addr's line without charging latency or counting the access
+// (used by the prefetcher).
+func (c *Cache) fill(addr uint64) {
+	line := (addr >> c.lineShift) + 1
+	set := int(line & c.setMask)
+	base := set * c.assoc
+	c.clock++
+	victim, oldest := base, c.lru[base]
+	for i := 0; i < c.assoc; i++ {
+		w := base + i
+		if c.tags[w] == line {
+			return // already resident
+		}
+		if c.lru[w] < oldest {
+			victim, oldest = w, c.lru[w]
+		}
+	}
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+}
+
+// Hierarchy is the two-level cache system of a node.
+type Hierarchy struct {
+	L1, L2 *Cache
+	// Prefetch enables a next-line prefetcher: every L1 miss also fills the
+	// following line. Helps streaming patterns, does nothing for random
+	// access — an ablation knob beyond the paper's Table 2 baseline.
+	Prefetch bool
+	lineSize uint64
+}
+
+// NewHierarchy builds the L1/L2 hierarchy described by p.
+func NewHierarchy(p Params) *Hierarchy {
+	l2 := NewCache("L2", p.L2Size, p.L2Assoc, p.LineSize, p.L2Hit, nil, p.MemPenalty)
+	// The L1 hit time is charged by the pipeline for every access; on a miss
+	// the lower levels add their own time, so L1's own contribution to a
+	// miss is its hit (lookup) time.
+	l1 := NewCache("L1", p.L1Size, p.L1Assoc, p.LineSize, p.L1Hit, l2, 0)
+	return &Hierarchy{L1: l1, L2: l2, lineSize: uint64(p.LineSize)}
+}
+
+// Access returns the latency of a load or store to addr.
+func (h *Hierarchy) Access(addr uint64) int {
+	misses := h.L1.Misses
+	lat := h.L1.Access(addr)
+	if h.Prefetch && h.L1.Misses != misses {
+		h.L1.fill(addr + h.lineSize)
+		h.L2.fill(addr + h.lineSize)
+	}
+	return lat
+}
+
+// Reset clears both levels.
+func (h *Hierarchy) Reset() { h.L1.Reset() }

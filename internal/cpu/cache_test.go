@@ -1,0 +1,207 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache("L1", 8*1024, 2, 64, 1, nil, 9)
+	if lat := c.Access(0x100); lat != 10 {
+		t.Errorf("first access latency = %d, want 10 (miss)", lat)
+	}
+	if lat := c.Access(0x100); lat != 1 {
+		t.Errorf("second access latency = %d, want 1 (hit)", lat)
+	}
+	if lat := c.Access(0x108); lat != 1 {
+		t.Errorf("same-line access latency = %d, want 1", lat)
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 2,1", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 64-byte lines, 2 sets => 256-byte cache. Addresses mapping to
+	// set 0: 0, 128, 256, ...
+	c := NewCache("tiny", 256, 2, 64, 1, nil, 9)
+	c.Access(0)   // miss
+	c.Access(128) // miss, set 0 now {0,128}
+	c.Access(0)   // hit, refreshes 0
+	c.Access(256) // miss, evicts 128 (LRU)
+	if lat := c.Access(0); lat != 1 {
+		t.Error("line 0 should still be resident")
+	}
+	if lat := c.Access(128); lat != 10 {
+		t.Error("line 128 should have been evicted")
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache("x", 0, 2, 64, 1, nil, 0) },
+		func() { NewCache("x", 100, 2, 64, 1, nil, 0) },    // not divisible
+		func() { NewCache("x", 3*64*2, 2, 64, 1, nil, 0) }, // 3 sets: not power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid geometry did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(Table2())
+	// Cold: misses L1 and L2 -> 1 + (3 + 7) = 11.
+	if lat := h.Access(0x4000); lat != 11 {
+		t.Errorf("cold access = %d, want 11", lat)
+	}
+	// Now in both levels: L1 hit.
+	if lat := h.Access(0x4000); lat != 1 {
+		t.Errorf("warm access = %d, want 1", lat)
+	}
+}
+
+func TestHierarchyL2HitAfterL1Evict(t *testing.T) {
+	p := Table2()
+	h := NewHierarchy(p)
+	h.Access(0)
+	// Thrash L1's set 0 (64 sets, so addresses 64*64 apart alias).
+	setStride := uint64(p.L1Size / p.L1Assoc) // bytes covering all sets once per way
+	for i := uint64(1); i <= 4; i++ {
+		h.Access(i * setStride)
+	}
+	// 0 evicted from L1 but resident in L2: 1 + 3.
+	if lat := h.Access(0); lat != 4 {
+		t.Errorf("L2 hit latency = %d, want 4", lat)
+	}
+}
+
+func TestCacheSequentialMissRate(t *testing.T) {
+	h := NewHierarchy(Table2())
+	// Stream 1MB sequentially: expect ~1/8 L1 miss rate (64B line / 8B words).
+	for a := uint64(0); a < 1<<20; a += 8 {
+		h.Access(a)
+	}
+	mr := h.L1.MissRate()
+	if mr < 0.11 || mr > 0.14 {
+		t.Errorf("sequential L1 miss rate = %.3f, want ~0.125", mr)
+	}
+}
+
+func TestCacheRandomMissRateLargeFootprint(t *testing.T) {
+	h := NewHierarchy(Table2())
+	rng := rand.New(rand.NewSource(3))
+	foot := uint64(8 << 20) // 8MB >> L2
+	for i := 0; i < 200000; i++ {
+		h.Access(uint64(rng.Int63()) % foot)
+	}
+	if mr := h.L1.MissRate(); mr < 0.9 {
+		t.Errorf("random 8MB L1 miss rate = %.3f, want > 0.9", mr)
+	}
+	if mr := h.L2.MissRate(); mr < 0.9 {
+		t.Errorf("random 8MB L2 miss rate = %.3f, want > 0.9", mr)
+	}
+}
+
+func TestCacheSmallFootprintAllHits(t *testing.T) {
+	h := NewHierarchy(Table2())
+	// 4KB fits in 8KB L1: after one warm pass, all hits.
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 4096; a += 8 {
+			h.Access(a)
+		}
+	}
+	if h.L1.Misses != 64 { // 4096/64 compulsory
+		t.Errorf("misses = %d, want 64 compulsory only", h.L1.Misses)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	h := NewHierarchy(Table2())
+	h.Access(0x123456)
+	h.Reset()
+	if h.L1.Hits != 0 || h.L1.Misses != 0 || h.L2.Misses != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	if lat := h.Access(0x123456); lat != 11 {
+		t.Errorf("post-reset access = %d, want cold 11", lat)
+	}
+}
+
+func TestCacheAccessesNeverNegativeProperty(t *testing.T) {
+	c := NewCache("p", 1024, 4, 32, 2, nil, 8)
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			lat := c.Access(uint64(a))
+			if lat != 2 && lat != 10 {
+				return false
+			}
+		}
+		return c.Hits+c.Misses >= uint64(len(addrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefetchHelpsStreaming(t *testing.T) {
+	plain := NewHierarchy(Table2())
+	pf := NewHierarchy(Table2())
+	pf.Prefetch = true
+	var latPlain, latPf int
+	for a := uint64(0); a < 1<<19; a += 8 {
+		latPlain += plain.Access(a)
+		latPf += pf.Access(a)
+	}
+	if latPf >= latPlain {
+		t.Errorf("prefetch did not help streaming: %d vs %d", latPf, latPlain)
+	}
+	// Miss-triggered next-line prefetch halves streaming misses (every
+	// other line arrives early; its hits do not trigger further prefetch).
+	if pf.L1.MissRate() > 0.6*plain.L1.MissRate() {
+		t.Errorf("prefetch miss rate %.3f, want <= 0.6x of %.3f", pf.L1.MissRate(), plain.L1.MissRate())
+	}
+}
+
+func TestPrefetchNeutralOnRandom(t *testing.T) {
+	plain := NewHierarchy(Table2())
+	pf := NewHierarchy(Table2())
+	pf.Prefetch = true
+	rng := rand.New(rand.NewSource(11))
+	foot := uint64(8 << 20)
+	var latPlain, latPf int
+	for i := 0; i < 100000; i++ {
+		a := (uint64(rng.Int63()) % (foot / 8)) * 8
+		latPlain += plain.Access(a)
+		latPf += pf.Access(a)
+	}
+	// Random access gains nothing (within a few percent either way).
+	ratio := float64(latPf) / float64(latPlain)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("prefetch changed random-access cost by %.2fx", ratio)
+	}
+}
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for _, pfOn := range []bool{false, true} {
+		name := "off"
+		if pfOn {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			h := NewHierarchy(Table2())
+			h.Prefetch = pfOn
+			for i := 0; i < b.N; i++ {
+				for a := uint64(0); a < 1<<16; a += 8 {
+					h.Access(a)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzCacheAccess checks cache invariants over arbitrary address streams:
+// latency is always one of the three level times, counters add up, and a
+// repeated address immediately hits.
+func FuzzCacheAccess(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint16(1))
+	f.Add([]byte{255, 0, 255, 0}, uint16(7))
+	f.Fuzz(func(t *testing.T, stream []byte, salt uint16) {
+		h := NewHierarchy(Table2())
+		var accesses uint64
+		for i, b := range stream {
+			addr := (uint64(b) << 12) ^ (uint64(salt) * uint64(i+1) * 64)
+			lat := h.Access(addr)
+			if lat != 1 && lat != 4 && lat != 11 {
+				t.Fatalf("latency %d not in {1,4,11}", lat)
+			}
+			accesses++
+			if lat2 := h.Access(addr); lat2 != 1 {
+				t.Fatalf("repeat access missed (lat %d)", lat2)
+			}
+			accesses++
+		}
+		if h.L1.Hits+h.L1.Misses != accesses {
+			t.Fatalf("counter mismatch: %d+%d != %d", h.L1.Hits, h.L1.Misses, accesses)
+		}
+	})
+}
+
+// FuzzPipelineTerminates checks the detailed core completes arbitrary
+// (well-formed) traces and never reports fewer cycles than the issue bound.
+func FuzzPipelineTerminates(f *testing.F) {
+	f.Add(uint16(50), int64(1))
+	f.Add(uint16(300), int64(9))
+	f.Fuzz(func(t *testing.T, nRaw uint16, seed int64) {
+		n := int(nRaw)%500 + 1
+		rng := rand.New(rand.NewSource(seed))
+		classes := []Class{IntALU, FPALU, Load, Store, Branch}
+		trace := make([]Op, n)
+		for i := range trace {
+			c := classes[rng.Intn(len(classes))]
+			op := Op{Class: c, Dst: int32(i + 1), Src1: -1, Src2: -1, PC: uint64(4 * i)}
+			if i > 0 && rng.Intn(2) == 0 {
+				op.Src1 = int32(rng.Intn(i) + 1)
+			}
+			if c == Load || c == Store {
+				op.Addr = uint64(rng.Intn(1 << 20))
+			}
+			if c == Branch {
+				op.Taken = rng.Intn(2) == 0
+			}
+			trace[i] = op
+		}
+		d := NewDetailed(Table2())
+		cycles := d.Run(trace)
+		if cycles < uint64(n)/4 {
+			t.Fatalf("%d ops in %d cycles beats the 4-wide issue bound", n, cycles)
+		}
+		if cycles > uint64(n)*100+1000 {
+			t.Fatalf("%d ops took %d cycles: runaway", n, cycles)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package cpu
+
+import (
+	"math"
+	"math/rand"
+)
+
+// newTraceRand derives a deterministic random source for trace generation.
+func newTraceRand(seed, stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*0x9e3779b9 + stream))
+}
+
+// The kernel library describes, as OpBlocks, the local computation steps of
+// the paper's three algorithms. Constants (operations per element) follow
+// straightforward instruction counts for the inner loops; the point is not
+// exact instruction fidelity but that local work scales correctly and that
+// the same blocks are charged identically under every cost model.
+
+// lg returns log2(n), at least 1.
+func lg(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log2(float64(n))
+}
+
+// BlockSum models summing n contiguous 8-byte words.
+func BlockSum(n int) OpBlock {
+	un := uint64(n)
+	return OpBlock{
+		Int: 2 * un, Loads: un, Branches: un,
+		Pattern: Sequential, Footprint: 8 * un, TakenProb: 0.999, ChainFrac: 0.5,
+	}
+}
+
+// BlockPrefixSum models an in-place running sum over n contiguous words.
+func BlockPrefixSum(n int) OpBlock {
+	un := uint64(n)
+	return OpBlock{
+		Int: 2 * un, Loads: un, Stores: un, Branches: un,
+		Pattern: Sequential, Footprint: 8 * un, TakenProb: 0.999, ChainFrac: 0.5,
+	}
+}
+
+// BlockCopy models copying n contiguous words.
+func BlockCopy(n int) OpBlock {
+	un := uint64(n)
+	return OpBlock{
+		Int: un, Loads: un, Stores: un, Branches: un / 4,
+		Pattern: Sequential, Footprint: 16 * un, TakenProb: 0.999,
+	}
+}
+
+// BlockQuickSort models quicksorting n words in place: ~1.4 n lg n
+// comparisons, each a load plus compare plus a hard-to-predict branch, with
+// about half the comparisons followed by a swap.
+func BlockQuickSort(n int) OpBlock {
+	cmps := uint64(1.4*float64(n)*lg(n)) + 1
+	return OpBlock{
+		Int: 3 * cmps, Loads: cmps, Stores: cmps / 2, Branches: cmps,
+		Pattern: RandomAccess, Footprint: 8 * uint64(n), TakenProb: 0.5,
+	}
+}
+
+// BlockBucketize models assigning each of n elements to one of p buckets by
+// binary search over the pivots: lg(p) compares per element.
+func BlockBucketize(n, p int) OpBlock {
+	un := uint64(n)
+	steps := uint64(lg(p)) + 1
+	return OpBlock{
+		Int: (steps + 2) * un, Loads: (steps + 1) * un, Stores: un, Branches: steps * un,
+		Pattern: RandomAccess, Footprint: 8 * un, TakenProb: 0.5,
+	}
+}
+
+// BlockListTraverse models walking n nodes of a linked list resident in
+// local memory: a dependent load per node plus rank bookkeeping.
+func BlockListTraverse(n int) OpBlock {
+	un := uint64(n)
+	return OpBlock{
+		Int: 2 * un, Loads: un, Stores: un / 2, Branches: un,
+		Pattern: PointerChase, Footprint: 16 * un, TakenProb: 0.999,
+	}
+}
+
+// BlockFlipGenerate models drawing a random bit per active element and
+// storing it: a few ALU operations for the generator per element.
+func BlockFlipGenerate(n int) OpBlock {
+	un := uint64(n)
+	return OpBlock{
+		Int: 6 * un, Loads: un, Stores: un, Branches: un,
+		Pattern: Sequential, Footprint: 16 * un, TakenProb: 0.999,
+	}
+}
+
+// BlockCompact models scanning n elements and keeping a data-dependent
+// subset (list-ranking's remove step, bucket scatter, etc.).
+func BlockCompact(n int) OpBlock {
+	un := uint64(n)
+	return OpBlock{
+		Int: 4 * un, Loads: 2 * un, Stores: un / 2, Branches: un,
+		Pattern: Sequential, Footprint: 24 * un, TakenProb: 0.5,
+	}
+}
+
+// BlockScatter models writing n words to data-dependent local locations.
+func BlockScatter(n int, footprint uint64) OpBlock {
+	un := uint64(n)
+	return OpBlock{
+		Int: 2 * un, Loads: un, Stores: un, Branches: un / 4,
+		Pattern: RandomAccess, Footprint: footprint, TakenProb: 0.999,
+	}
+}

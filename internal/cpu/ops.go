@@ -1,0 +1,141 @@
+package cpu
+
+import "fmt"
+
+// Class identifies which functional unit an operation needs.
+type Class uint8
+
+// Operation classes.
+const (
+	IntALU Class = iota
+	FPALU
+	Load
+	Store
+	Branch
+	Call
+	Return
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case IntALU:
+		return "int"
+	case FPALU:
+		return "fp"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	case Call:
+		return "call"
+	case Return:
+		return "return"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Op is one dynamic instruction in a trace. Register numbers are virtual
+// (rename registers are unlimited per Table 2, so only true dependences
+// matter); -1 means no operand.
+type Op struct {
+	Class      Class
+	Dst        int32
+	Src1, Src2 int32
+	Addr       uint64 // effective address for Load/Store
+	PC         uint64
+	Taken      bool // outcome for Branch
+}
+
+// Pattern describes the memory reference behaviour of an aggregate block of
+// work, used by the analytic model and the synthetic trace generator.
+type Pattern uint8
+
+// Memory reference patterns.
+const (
+	// Sequential walks the footprint with unit (8-byte word) stride.
+	Sequential Pattern = iota
+	// Strided walks the footprint with a fixed stride given in OpBlock.
+	Strided
+	// RandomAccess touches uniformly random words within the footprint.
+	RandomAccess
+	// PointerChase is RandomAccess where each load's address depends on the
+	// previous load's value (a linked-list walk): no memory parallelism.
+	PointerChase
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case RandomAccess:
+		return "random"
+	case PointerChase:
+		return "pointer-chase"
+	}
+	return fmt.Sprintf("Pattern(%d)", uint8(p))
+}
+
+// OpBlock aggregates the dynamic operation mix of a piece of local
+// computation. Algorithms describe their per-step local work as OpBlocks and
+// charge a Model for them; this is the m_op side of the QSM cost
+// max(m_op, g*m_rw, kappa).
+type OpBlock struct {
+	Int      uint64 // integer ALU operations
+	FP       uint64 // floating-point operations
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+
+	Pattern   Pattern
+	Stride    uint64  // bytes, for Strided
+	Footprint uint64  // bytes of memory touched
+	TakenProb float64 // probability a branch is taken (predictability proxy)
+
+	// ChainFrac is the fraction of Int+FP operations on the loop-carried
+	// critical dependency chain; 1 fully serialises them.
+	ChainFrac float64
+}
+
+// Ops returns the total dynamic operation count.
+func (b OpBlock) Ops() uint64 { return b.Int + b.FP + b.Loads + b.Stores + b.Branches }
+
+// Add returns the element-wise sum of two blocks; pattern fields are taken
+// from the block with the larger footprint. Summation is used when a phase
+// performs several kernels back to back.
+func (b OpBlock) Add(o OpBlock) OpBlock {
+	s := OpBlock{
+		Int:      b.Int + o.Int,
+		FP:       b.FP + o.FP,
+		Loads:    b.Loads + o.Loads,
+		Stores:   b.Stores + o.Stores,
+		Branches: b.Branches + o.Branches,
+	}
+	big, small := b, o
+	if o.Footprint > b.Footprint {
+		big, small = o, b
+	}
+	s.Pattern, s.Stride, s.Footprint = big.Pattern, big.Stride, big.Footprint
+	// Weight scalar behaviour fields by op counts.
+	tb, to := float64(b.Ops()), float64(o.Ops())
+	if tb+to > 0 {
+		s.TakenProb = (b.TakenProb*tb + o.TakenProb*to) / (tb + to)
+		s.ChainFrac = (b.ChainFrac*tb + o.ChainFrac*to) / (tb + to)
+	}
+	_ = small
+	return s
+}
+
+// Scale returns the block with all counts multiplied by k.
+func (b OpBlock) Scale(k uint64) OpBlock {
+	b.Int *= k
+	b.FP *= k
+	b.Loads *= k
+	b.Stores *= k
+	b.Branches *= k
+	return b
+}

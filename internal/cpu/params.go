@@ -1,0 +1,87 @@
+// Package cpu models the compute node of the simulated multiprocessor: a
+// four-wide out-of-order superscalar processor with a two-level cache
+// hierarchy and a two-level adaptive branch predictor, configured exactly as
+// Table 2 of the paper configures each Armadillo node.
+//
+// Two fidelity levels are provided. Detailed is a cycle-by-cycle,
+// trace-driven timing core that honours functional-unit structural hazards,
+// the instruction window, register dependences, cache latencies and branch
+// mispredictions. Analytic is a closed-form model over aggregate operation
+// counts (an OpBlock); it is what experiment sweeps use, and the test suite
+// holds it to within tolerance of Detailed on the kernel library.
+package cpu
+
+// Params describes the node architecture (paper Table 2).
+type Params struct {
+	IntUnits   int // integer ALUs
+	FPUnits    int // floating-point units
+	LSUnits    int // load/store units
+	IssueWidth int // max instructions issued per cycle
+	Window     int // instruction issue window entries
+
+	L1Size  int // bytes
+	L1Assoc int
+	L1Hit   int // cycles
+
+	L2Size  int // bytes
+	L2Assoc int
+	L2Hit   int // cycles
+
+	MemPenalty int // extra cycles beyond L2 hit on an L2 miss ("3 + 7")
+
+	LineSize int // cache line bytes
+
+	PredictorEntries int // branch prediction table entries
+	HistoryBits      int // global history length
+	MispredictFlush  int // cycles of fetch lost on a misprediction redirect
+
+	ClockMHz int // for converting cycles to wall-clock time in reports
+}
+
+// Table2 returns the node configuration from Table 2 of the paper: an
+// advanced processor of 1998. 4 int / 4 FP / 2 load-store units with 1-cycle
+// latency, 4-wide issue into a 64-entry window, 8KB 2-way L1 (1 cycle),
+// 256KB 8-way L2 (3 cycles, miss 3+7), 64K-entry branch predictor with 8-bit
+// history, 400 MHz clock.
+func Table2() Params {
+	return Params{
+		IntUnits:   4,
+		FPUnits:    4,
+		LSUnits:    2,
+		IssueWidth: 4,
+		Window:     64,
+
+		L1Size:  8 * 1024,
+		L1Assoc: 2,
+		L1Hit:   1,
+
+		L2Size:  256 * 1024,
+		L2Assoc: 8,
+		L2Hit:   3,
+
+		MemPenalty: 7,
+
+		LineSize: 64,
+
+		PredictorEntries: 64 * 1024,
+		HistoryBits:      8,
+		MispredictFlush:  3,
+
+		ClockMHz: 400,
+	}
+}
+
+// MemLatency returns the access latency in cycles for a hit at each level:
+// L1, L2, and main memory.
+func (p Params) MemLatency() (l1, l2, mem int) {
+	return p.L1Hit, p.L2Hit, p.L2Hit + p.MemPenalty
+}
+
+// CyclesToMicros converts a cycle count to microseconds at the configured
+// clock rate.
+func (p Params) CyclesToMicros(cycles float64) float64 {
+	if p.ClockMHz == 0 {
+		return 0
+	}
+	return cycles / float64(p.ClockMHz)
+}

@@ -1,0 +1,156 @@
+package cpu
+
+// Detailed is a cycle-by-cycle, trace-driven out-of-order core. Each cycle
+// it fetches up to IssueWidth operations into the instruction window,
+// issues up to IssueWidth ready operations subject to per-class functional
+// unit counts, and retires completed operations in order. Branches are
+// predicted at fetch; a misprediction stalls fetch until the branch resolves
+// plus a redirect penalty. Rename registers are unlimited, so only true
+// (read-after-write) dependences through virtual registers stall issue.
+type Detailed struct {
+	P      Params
+	Mem    *Hierarchy
+	Pred   *Predictor
+	Cycles uint64 // cumulative cycles across Run calls
+	Issued uint64
+}
+
+// NewDetailed builds a detailed core with fresh caches and predictor.
+func NewDetailed(p Params) *Detailed {
+	return &Detailed{P: p, Mem: NewHierarchy(p), Pred: NewPredictor(p.PredictorEntries, p.HistoryBits)}
+}
+
+const never = ^uint64(0)
+
+type winEntry struct {
+	op      Op
+	fetchAt uint64
+	issued  bool
+	doneAt  uint64
+	mispred bool
+}
+
+// Run simulates the trace and returns the number of cycles it takes.
+// Microarchitectural cache and predictor state persists across calls,
+// modelling consecutive program regions.
+func (d *Detailed) Run(trace []Op) uint64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	var (
+		cycle     uint64
+		fetched   int
+		window    []*winEntry
+		regReady  = map[int32]uint64{} // virtual register -> cycle value available; "never" while in flight
+		fetchHold uint64               // fetch stalled until this cycle (mispredict redirect)
+		completed int
+	)
+	classFU := func(c Class) int {
+		switch c {
+		case IntALU, Branch, Call, Return:
+			return d.P.IntUnits
+		case FPALU:
+			return d.P.FPUnits
+		case Load, Store:
+			return d.P.LSUnits
+		}
+		return 1
+	}
+	srcReady := func(r int32, cycle uint64) bool {
+		if r < 0 {
+			return true
+		}
+		t, ok := regReady[r]
+		return !ok || t <= cycle
+	}
+
+	var fuCount [numClasses]int
+	for completed < len(trace) {
+		// Fetch stage.
+		if cycle >= fetchHold {
+			for f := 0; f < d.P.IssueWidth && fetched < len(trace) && len(window) < d.P.Window; f++ {
+				op := trace[fetched]
+				e := &winEntry{op: op, fetchAt: cycle}
+				switch op.Class {
+				case Branch:
+					e.mispred = !d.Pred.Predict(op.PC, op.Taken)
+				case Call:
+					d.Pred.Call(op.PC + 4)
+				case Return:
+					e.mispred = !d.Pred.Return(op.Addr)
+				}
+				if op.Dst >= 0 {
+					regReady[op.Dst] = never // in flight until issue computes latency
+				}
+				window = append(window, e)
+				fetched++
+				if e.mispred {
+					fetchHold = never // restored when the branch issues
+					break
+				}
+			}
+		}
+
+		// Issue stage.
+		issued := 0
+		for i := range fuCount {
+			fuCount[i] = 0
+		}
+		for _, e := range window {
+			if issued >= d.P.IssueWidth {
+				break
+			}
+			if e.issued || e.fetchAt >= cycle {
+				continue
+			}
+			if !srcReady(e.op.Src1, cycle) || !srcReady(e.op.Src2, cycle) {
+				continue
+			}
+			fu := e.op.Class
+			if fuCount[fu] >= classFU(fu) {
+				continue
+			}
+			fuCount[fu]++
+			issued++
+			e.issued = true
+			lat := uint64(1)
+			switch e.op.Class {
+			case Load:
+				lat = uint64(d.Mem.Access(e.op.Addr))
+			case Store:
+				d.Mem.Access(e.op.Addr)
+				lat = 1 // stores complete into the write buffer
+			}
+			e.doneAt = cycle + lat
+			if e.op.Dst >= 0 {
+				regReady[e.op.Dst] = e.doneAt
+			}
+			if e.mispred {
+				// Redirect fetch after resolution plus flush penalty.
+				fetchHold = e.doneAt + uint64(d.P.MispredictFlush)
+			}
+			d.Issued++
+		}
+
+		// Retire stage: remove completed entries from the head, in order.
+		n := 0
+		for n < len(window) && window[n].issued && window[n].doneAt <= cycle {
+			n++
+		}
+		if n > 0 {
+			completed += n
+			window = append(window[:0], window[n:]...)
+		}
+
+		cycle++
+	}
+	d.Cycles += cycle
+	return cycle
+}
+
+// Reset clears microarchitectural state and counters.
+func (d *Detailed) Reset() {
+	d.Mem.Reset()
+	d.Pred.Reset()
+	d.Cycles, d.Issued = 0, 0
+}

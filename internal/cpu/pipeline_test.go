@@ -1,0 +1,169 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mkOps builds n independent integer ops.
+func mkOps(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Class: IntALU, Dst: int32(i + 1), Src1: -1, Src2: -1, PC: uint64(0x1000 + 4*i)}
+	}
+	return ops
+}
+
+func TestPipelineIssueWidthBound(t *testing.T) {
+	d := NewDetailed(Table2())
+	const n = 4000
+	cycles := d.Run(mkOps(n))
+	// 4-wide: ideal n/4 cycles plus small fill; must be close.
+	if cycles < n/4 {
+		t.Fatalf("cycles = %d below issue bound %d", cycles, n/4)
+	}
+	if cycles > n/4+50 {
+		t.Errorf("cycles = %d, want near %d for independent int ops", cycles, n/4)
+	}
+}
+
+func TestPipelineChainSerialises(t *testing.T) {
+	d := NewDetailed(Table2())
+	const n = 2000
+	ops := make([]Op, n)
+	for i := range ops {
+		src := int32(i) // depends on previous op's dst
+		if i == 0 {
+			src = -1
+		}
+		ops[i] = Op{Class: IntALU, Dst: int32(i + 1), Src1: src, Src2: -1}
+	}
+	cycles := d.Run(ops)
+	if cycles < n {
+		t.Fatalf("chained ops finished in %d cycles, below serial bound %d", cycles, n)
+	}
+	if cycles > n+100 {
+		t.Errorf("chained ops took %d cycles, want near %d", cycles, n)
+	}
+}
+
+func TestPipelineLSUnitBound(t *testing.T) {
+	d := NewDetailed(Table2())
+	const n = 4000
+	ops := make([]Op, n)
+	for i := range ops {
+		// Stores to a tiny footprint: all L1 hits, bound by 2 LS units.
+		ops[i] = Op{Class: Store, Dst: -1, Src1: -1, Src2: -1, Addr: uint64(i%64) * 8}
+	}
+	cycles := d.Run(ops)
+	if cycles < n/2 {
+		t.Fatalf("cycles = %d below LS-unit bound %d", cycles, n/2)
+	}
+	if cycles > n/2+100 {
+		t.Errorf("cycles = %d, want near %d for store stream", cycles, n/2)
+	}
+}
+
+func TestPipelinePointerChaseExposesLatency(t *testing.T) {
+	d := NewDetailed(Table2())
+	rng := rand.New(rand.NewSource(5))
+	const n = 2000
+	foot := uint64(8 << 20)
+	ops := make([]Op, n)
+	for i := range ops {
+		src := int32(i)
+		if i == 0 {
+			src = -1
+		}
+		ops[i] = Op{Class: Load, Dst: int32(i + 1), Src1: src, Src2: -1,
+			Addr: (uint64(rng.Int63()) % (foot / 8)) * 8}
+	}
+	cycles := d.Run(ops)
+	// Nearly every load misses to memory (11 cycles), fully serialised.
+	if cycles < 9*n {
+		t.Errorf("pointer chase = %d cycles, want > %d (latency-bound)", cycles, 9*n)
+	}
+}
+
+func TestPipelineIndependentLoadsOverlapMisses(t *testing.T) {
+	dChase := NewDetailed(Table2())
+	dInd := NewDetailed(Table2())
+	rng := rand.New(rand.NewSource(5))
+	const n = 2000
+	foot := uint64(8 << 20)
+	chase := make([]Op, n)
+	ind := make([]Op, n)
+	for i := range chase {
+		addr := (uint64(rng.Int63()) % (foot / 8)) * 8
+		src := int32(i)
+		if i == 0 {
+			src = -1
+		}
+		chase[i] = Op{Class: Load, Dst: int32(i + 1), Src1: src, Src2: -1, Addr: addr}
+		ind[i] = Op{Class: Load, Dst: int32(i + 1), Src1: -1, Src2: -1, Addr: addr}
+	}
+	cChase := dChase.Run(chase)
+	cInd := dInd.Run(ind)
+	if cInd*2 > cChase {
+		t.Errorf("independent loads (%d cycles) should be >2x faster than chase (%d)", cInd, cChase)
+	}
+}
+
+func TestPipelineMispredictPenalty(t *testing.T) {
+	good := NewDetailed(Table2())
+	bad := NewDetailed(Table2())
+	rng := rand.New(rand.NewSource(7))
+	const n = 4000
+	pred := make([]Op, n)
+	unpred := make([]Op, n)
+	for i := range pred {
+		pred[i] = Op{Class: Branch, Dst: -1, Src1: -1, Src2: -1, PC: 0x400, Taken: true}
+		unpred[i] = Op{Class: Branch, Dst: -1, Src1: -1, Src2: -1, PC: 0x400, Taken: rng.Intn(2) == 0}
+	}
+	cGood := good.Run(pred)
+	cBad := bad.Run(unpred)
+	if cBad < cGood*2 {
+		t.Errorf("unpredictable branches (%d) should cost >2x predictable (%d)", cBad, cGood)
+	}
+}
+
+func TestPipelineEmptyTrace(t *testing.T) {
+	d := NewDetailed(Table2())
+	if c := d.Run(nil); c != 0 {
+		t.Errorf("empty trace = %d cycles, want 0", c)
+	}
+}
+
+func TestPipelineWindowLimit(t *testing.T) {
+	// With a window of 1 instruction, everything serialises.
+	p := Table2()
+	p.Window = 1
+	d := NewDetailed(p)
+	const n = 1000
+	cycles := d.Run(mkOps(n))
+	if cycles < n {
+		t.Errorf("window=1 took %d cycles, want >= %d", cycles, n)
+	}
+}
+
+func TestPipelineCumulativeCounters(t *testing.T) {
+	d := NewDetailed(Table2())
+	d.Run(mkOps(100))
+	d.Run(mkOps(100))
+	if d.Issued != 200 {
+		t.Errorf("issued = %d, want 200", d.Issued)
+	}
+	d.Reset()
+	if d.Issued != 0 || d.Cycles != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func BenchmarkPipelineIntStream(b *testing.B) {
+	d := NewDetailed(Table2())
+	ops := mkOps(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(ops)
+	}
+}

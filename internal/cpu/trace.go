@@ -1,0 +1,152 @@
+package cpu
+
+import "math/rand"
+
+// GenerateTrace expands an OpBlock into a synthetic dynamic instruction
+// trace suitable for the Detailed core. The block is treated as a loop whose
+// iteration count is its branch count (at least 1); each iteration carries
+// its proportional share of loads, integer, floating-point and store
+// operations, wired with true dependences: loads feed computation, the
+// ChainFrac share of computation forms a loop-carried chain, and stores
+// consume the last computed value. Memory addresses follow the block's
+// Pattern over its Footprint.
+//
+// If maxOps > 0 and the block contains more operations, the trace is a
+// prefix sample of at most maxOps operations; callers scale the resulting
+// cycle count by Ops()/len(trace).
+func GenerateTrace(b OpBlock, maxOps int, rng *rand.Rand) []Op {
+	total := b.Ops()
+	if total == 0 {
+		return nil
+	}
+	iters := b.Branches
+	if iters == 0 {
+		iters = 1
+	}
+	est := int(total)
+	if maxOps > 0 && est > maxOps {
+		est = maxOps
+	}
+	trace := make([]Op, 0, est+8)
+
+	const regRing = 1 << 16
+	nextReg := int32(1)
+	newReg := func() int32 {
+		r := nextReg
+		nextReg++
+		if nextReg >= regRing {
+			nextReg = 1
+		}
+		return r
+	}
+
+	var cursor uint64
+	stride := b.Stride
+	if stride == 0 {
+		stride = 8
+	}
+	foot := b.Footprint
+	if foot < 64 {
+		foot = 64
+	}
+	words := foot / 8
+	nextAddr := func() uint64 {
+		switch b.Pattern {
+		case Sequential:
+			a := cursor % foot
+			cursor += 8
+			return a
+		case Strided:
+			a := cursor % foot
+			cursor += stride
+			return a
+		default: // RandomAccess, PointerChase
+			return (uint64(rng.Int63()) % words) * 8
+		}
+	}
+
+	chainReg := int32(0) // loop-carried chain; 0 is "unset"
+	ptrReg := int32(0)   // pointer-chase chain through load addresses
+	pc := uint64(0x1000)
+
+	emit := func(op Op) bool {
+		trace = append(trace, op)
+		return maxOps > 0 && len(trace) >= maxOps
+	}
+
+	for it := uint64(0); it < iters; it++ {
+		var lastVal int32 = -1
+		nl := share(b.Loads, iters, it)
+		for i := 0; i < nl; i++ {
+			dst := newReg()
+			src := int32(-1)
+			if b.Pattern == PointerChase {
+				src = ptrReg
+				if src == 0 {
+					src = -1
+				}
+				ptrReg = dst
+			}
+			if emit(Op{Class: Load, Dst: dst, Src1: src, Src2: -1, Addr: nextAddr(), PC: pc}) {
+				return trace
+			}
+			pc += 4
+			lastVal = dst
+		}
+		nc := share(b.Int, iters, it)
+		chainLen := int(float64(nc)*b.ChainFrac + 0.5)
+		for i := 0; i < nc; i++ {
+			dst := newReg()
+			s1, s2 := lastVal, int32(-1)
+			if i < chainLen {
+				s2 = chainReg
+				if s2 == 0 {
+					s2 = -1
+				}
+				chainReg = dst
+			}
+			if emit(Op{Class: IntALU, Dst: dst, Src1: s1, Src2: s2, PC: pc}) {
+				return trace
+			}
+			pc += 4
+			lastVal = dst
+		}
+		nf := share(b.FP, iters, it)
+		for i := 0; i < nf; i++ {
+			dst := newReg()
+			if emit(Op{Class: FPALU, Dst: dst, Src1: lastVal, Src2: -1, PC: pc}) {
+				return trace
+			}
+			pc += 4
+			lastVal = dst
+		}
+		ns := share(b.Stores, iters, it)
+		for i := 0; i < ns; i++ {
+			if emit(Op{Class: Store, Dst: -1, Src1: lastVal, Src2: -1, Addr: nextAddr(), PC: pc}) {
+				return trace
+			}
+			pc += 4
+		}
+		if b.Branches > 0 {
+			taken := rng.Float64() < b.TakenProb
+			// The loop's backward branch reuses one PC so the predictor can
+			// learn it; data-dependent branches would use varying outcomes,
+			// which TakenProb models.
+			if emit(Op{Class: Branch, Dst: -1, Src1: lastVal, Src2: -1, PC: 0x500, Taken: taken}) {
+				return trace
+			}
+		}
+	}
+	return trace
+}
+
+// share returns iteration it's portion of count spread over iters
+// iterations, distributing the remainder over the first iterations so the
+// total is preserved.
+func share(count, iters, it uint64) int {
+	n := int(count / iters)
+	if it < count%iters {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/qsmlib"
+	"repro/internal/sim"
+)
+
+// MachineCalib holds the observed (hardware + software) network constants of
+// a simulated machine configuration — the "Observed Performance" column of
+// Table 3 — which parameterise the prediction lines.
+type MachineCalib struct {
+	Net machine.NetParams
+
+	PutGapPB float64 // observed put cycles per byte, bulk transfers
+	GetGapPB float64 // observed get cycles per byte, bulk transfers
+	// GetWordGapPB and PutWordGapPB are the observed cycles per byte of
+	// word-granularity scattered accesses (the access mode behind the
+	// paper's 287 c/B get figure, and the traffic list ranking generates).
+	GetWordGapPB float64
+	PutWordGapPB float64
+	LBarrier     float64 // 16-node empty-sync cost (plan + barrier), cycles
+}
+
+// Calib converts the measurements into model constants for p processors,
+// with the bulk-transfer gap (right for algorithms that move contiguous
+// ranges, like sample sort).
+func (mc MachineCalib) Calib(p int) models.Calib {
+	return models.Calib{
+		P:     p,
+		GWord: 8 * (mc.PutGapPB + mc.GetGapPB) / 2,
+		L:     mc.LBarrier,
+		Lat:   float64(mc.Net.Latency),
+		O:     float64(mc.Net.SendOverhead),
+	}
+}
+
+// ScatterCalib is Calib with the word-granularity gap, the right constant
+// for irregular algorithms whose every access is a scattered single word
+// (list ranking).
+func (mc MachineCalib) ScatterCalib(p int) models.Calib {
+	c := mc.Calib(p)
+	c.GWord = 8 * (mc.GetWordGapPB + mc.PutWordGapPB) / 2
+	return c
+}
+
+// bulkComm measures the bottleneck communication cycles of moving `words`
+// words to (put) or from (get) a remote node through the library.
+func bulkComm(net machine.NetParams, words int, get bool, seed int64) sim.Time {
+	m := qsmlib.New(2, qsmlib.Options{Net: net, Seed: seed})
+	err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("calib", 2*words)
+		ctx.Sync()
+		buf := make([]int64, words)
+		if ctx.ID() == 0 {
+			if get {
+				ctx.Get(h, words, buf) // node 1's partition
+			} else {
+				ctx.Put(h, words, buf)
+			}
+		}
+		ctx.Sync()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m.RunStats().MaxComm()
+}
+
+// wordComm measures scattered word-granularity accesses under a symmetric
+// load: every node of a 16-node machine gets (or puts) `words` scattered
+// single words of its ring successor's partition, all at once. The symmetry
+// matters: serving incoming requests overlaps with waiting for one's own
+// replies, exactly as in a real irregular phase.
+func wordComm(net machine.NetParams, words int, get bool, seed int64) sim.Time {
+	const p = 16
+	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed})
+	err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("calibw", p*words)
+		ctx.Sync()
+		peer := (ctx.ID() + 1) % p
+		idx := make([]int, 0, words)
+		seen := make(map[int]bool, words)
+		for i := 0; len(idx) < words; i++ {
+			ix := peer*words + (i*7919)%words // scattered within the peer's partition
+			if !seen[ix] {
+				seen[ix] = true
+				idx = append(idx, ix)
+			}
+		}
+		if get {
+			ctx.GetIndexed(h, idx, make([]int64, len(idx)))
+		} else {
+			ctx.PutIndexed(h, idx, make([]int64, len(idx)))
+		}
+		ctx.Sync()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m.RunStats().MaxComm()
+}
+
+// emptySyncCost measures the fixed per-phase cost at p nodes.
+func emptySyncCost(net machine.NetParams, p int, seed int64) sim.Time {
+	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed})
+	const phases = 4
+	err := m.Run(func(ctx core.Ctx) {
+		for i := 0; i < phases; i++ {
+			ctx.Sync()
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m.RunStats().TotalCycles / phases
+}
+
+// Calibrate measures the observed network constants of a configuration. The
+// per-byte gaps are slopes between two transfer sizes, cancelling fixed
+// per-sync costs.
+func Calibrate(net machine.NetParams, seed int64) MachineCalib {
+	const w1, w2 = 20000, 60000
+	slope := func(get bool) float64 {
+		c1 := bulkComm(net, w1, get, seed)
+		c2 := bulkComm(net, w2, get, seed)
+		return float64(c2-c1) / float64(8*(w2-w1))
+	}
+	const s1, s2 = 5000, 15000
+	wordSlope := func(get bool) float64 {
+		c1 := wordComm(net, s1, get, seed)
+		c2 := wordComm(net, s2, get, seed)
+		return float64(c2-c1) / float64(8*(s2-s1))
+	}
+	return MachineCalib{
+		Net:          net,
+		PutGapPB:     slope(false),
+		GetGapPB:     slope(true),
+		GetWordGapPB: wordSlope(true),
+		PutWordGapPB: wordSlope(false),
+		LBarrier:     float64(emptySyncCost(net, 16, seed)),
+	}
+}

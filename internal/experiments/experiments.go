@@ -1,0 +1,81 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver runs the relevant workloads on the
+// simulated machine (or the membank model for Section 4), computes the
+// analytical prediction lines, and renders the same rows or series the
+// paper reports. cmd/qsmbench exposes them on the command line and the
+// top-level bench_test.go wires them into `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Seed drives all randomness; runs r uses Seed+r.
+	Seed int64
+	// Runs is the number of repetitions averaged per point (the paper uses
+	// 10). Zero means 5.
+	Runs int
+	// Quick trims sweeps to a few points for smoke tests.
+	Quick bool
+}
+
+func (o Options) runs() int {
+	if o.Runs <= 0 {
+		return 5
+	}
+	return o.Runs
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+}
+
+// String renders all tables.
+func (r *Result) String() string {
+	s := ""
+	for _, t := range r.Tables {
+		s += t.String() + "\n"
+	}
+	return s
+}
+
+type driver struct {
+	title string
+	run   func(Options) (*Result, error)
+}
+
+var registry = map[string]driver{}
+
+func register(id, title string, run func(Options) (*Result, error)) {
+	registry[id] = driver{title: title, run: run}
+}
+
+// IDs lists the registered experiment identifiers in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's description.
+func Title(id string) string { return registry[id].title }
+
+// Run executes the experiment with the given id.
+func Run(id string, opt Options) (*Result, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return d.run(opt)
+}

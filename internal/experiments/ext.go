@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"repro/internal/algorithms"
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/qsmlib"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ext1", "Extension 1: QSM-on-BSP emulation overhead (bridging-model constant)", ext1)
+}
+
+// ext1 measures the experimental counterpart of the bridging result the
+// paper cites (Gibbons-Matias-Ramachandran): QSM algorithms emulated on a
+// BSP machine should run within a small constant factor of the native QSM
+// library on the same hardware.
+func ext1(opt Options) (*Result, error) {
+	sizes := sweepSizes(opt.Quick, []int{16384, 65536, 262144})
+	t := report.NewTable("Extension 1: sample sort, native QSM library vs QSM-on-BSP emulation (p=16; cycles)",
+		"n", "QSM total", "emulated total", "overhead", "QSM comm", "emulated comm")
+	for _, n := range sizes {
+		var dTot, dComm, eTot, eComm float64
+		runs := opt.runs()
+		for r := 0; r < runs; r++ {
+			seed := opt.Seed + int64(r)
+			in := workload.UniformInts(n, 0, seed)
+			alg := algorithms.SampleSort{N: n, Input: blockInput(in, n)}
+
+			direct := qsmlib.New(defaultP, qsmlib.Options{Seed: seed})
+			if err := direct.Run(alg.Program()); err != nil {
+				return nil, err
+			}
+			ds := direct.RunStats()
+			dTot += float64(ds.TotalCycles)
+			dComm += float64(ds.MaxComm())
+
+			emu := bsp.NewQSM(defaultP, bsp.Options{Seed: seed}, core.LayoutBlocked)
+			if err := emu.Run(alg.Program()); err != nil {
+				return nil, err
+			}
+			es := emu.RunStats()
+			eTot += float64(es.TotalCycles)
+			eComm += float64(es.MaxComm())
+		}
+		k := float64(runs)
+		t.AddRow(report.Cycles(float64(n)),
+			report.Cycles(dTot/k), report.Cycles(eTot/k),
+			report.F(eTot/dTot),
+			report.Cycles(dComm/k), report.Cycles(eComm/k))
+	}
+	t.AddNote("theory predicts a small constant overhead; the emulation pays one extra address translation and identical wire traffic on this substrate.")
+	return &Result{ID: "ext1", Title: Title("ext1"), Tables: []*report.Table{t}}, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/logp"
+	"repro/internal/qsmlib"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func init() {
+	register("ext2", "Extension 2: fine-grained LogP trees vs bulk-synchronous QSM collectives", ext2)
+}
+
+// ext2 quantifies the cost of QSM's simplicity that Section 2.1 concedes:
+// for tiny payloads, fine-grained message passing (LogP binomial trees, an
+// Active-Messages style) beats the bulk-synchronous library, whose every
+// phase pays the full plan-exchange-plus-barrier overhead. QSM's bet is
+// that real workloads amortise that overhead over large h-relations.
+func ext2(opt Options) (*Result, error) {
+	ps := []int{4, 8, 16, 32}
+	if opt.Quick {
+		ps = ps[:2]
+	}
+	t := report.NewTable("Extension 2: one-word broadcast and sum, cycles to completion",
+		"p", "QSM broadcast", "LogP broadcast", "ratio", "QSM sum", "LogP sum", "ratio")
+	for _, p := range ps {
+		qb := qsmBroadcastCycles(p, opt.Seed)
+		lb := logpCycles(p, opt.Seed, func(pc *logp.Proc) { logp.Broadcast(pc, 0, 42) })
+		qs := qsmSumCycles(p, opt.Seed)
+		ls := logpCycles(p, opt.Seed, func(pc *logp.Proc) { logp.Sum(pc, 0, int64(pc.ID())) })
+		t.AddRow(report.I(float64(p)),
+			report.Cycles(float64(qb)), report.Cycles(float64(lb)), report.F(float64(qb)/float64(lb)),
+			report.Cycles(float64(qs)), report.Cycles(float64(ls)), report.F(float64(qs)/float64(ls)))
+	}
+	t.AddNote("LogP trees win by an order of magnitude on one-word collectives; the paper's Section 3 workloads amortise the bulk-synchronous overhead over large phases instead.")
+	return &Result{ID: "ext2", Title: Title("ext2"), Tables: []*report.Table{t}}, nil
+}
+
+func qsmBroadcastCycles(p int, seed int64) sim.Time {
+	m := qsmlib.New(p, qsmlib.Options{Seed: seed})
+	if err := m.Run(func(ctx core.Ctx) {
+		g := collective.NewGroup(ctx, "x2")
+		g.Broadcast(0, []int64{42})
+	}); err != nil {
+		panic(err)
+	}
+	return m.RunStats().TotalCycles
+}
+
+func qsmSumCycles(p int, seed int64) sim.Time {
+	m := qsmlib.New(p, qsmlib.Options{Seed: seed})
+	if err := m.Run(func(ctx core.Ctx) {
+		g := collective.NewGroup(ctx, "x2")
+		g.AllReduce([]int64{int64(ctx.ID())}, collective.Sum)
+	}); err != nil {
+		panic(err)
+	}
+	return m.RunStats().TotalCycles
+}
+
+func logpCycles(p int, seed int64, f func(*logp.Proc)) sim.Time {
+	m := logp.New(logp.Default(p))
+	if err := m.Run(seed, f); err != nil {
+		panic(err)
+	}
+	return m.Now()
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"repro/internal/algorithms"
+	"repro/internal/machine"
+	"repro/internal/models"
+	"repro/internal/qsmlib"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// measured is an averaged simulation measurement, in cycles.
+type measured struct {
+	Total float64 // end-to-end running time
+	Comm  float64 // bottleneck node's communication time
+}
+
+func avgMeasured(ms []measured) measured {
+	var t, c []float64
+	for _, m := range ms {
+		t = append(t, m.Total)
+		c = append(c, m.Comm)
+	}
+	return measured{Total: stats.Mean(t), Comm: stats.Mean(c)}
+}
+
+func blockInput(all []int64, n int) func(id, p int) []int64 {
+	return func(id, p int) []int64 {
+		lo, hi := workload.Partition(n, p, id)
+		return all[lo:hi]
+	}
+}
+
+// runPrefix measures the prefix-sums program.
+func runPrefix(net machine.NetParams, n, p, runs int, seed int64) measured {
+	var ms []measured
+	for r := 0; r < runs; r++ {
+		s := seed + int64(r)
+		in := workload.UniformInts(n, 1000, s)
+		alg := algorithms.PrefixSums{N: n, Input: blockInput(in, n)}
+		m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: s})
+		if err := m.Run(alg.Program()); err != nil {
+			panic(err)
+		}
+		st := m.RunStats()
+		ms = append(ms, measured{Total: float64(st.TotalCycles), Comm: float64(st.MaxComm())})
+	}
+	return avgMeasured(ms)
+}
+
+// sortRun is one sample-sort measurement with its observed skews.
+type sortRun struct {
+	measured
+	B    float64
+	R    float64
+	OutW float64
+}
+
+// runSort measures the sample-sort program, returning the run average and
+// the average observed skews.
+func runSort(net machine.NetParams, n, p, runs int, seed int64) sortRun {
+	var ms []measured
+	var bs, rs, ows []float64
+	for r := 0; r < runs; r++ {
+		s := seed + int64(r)
+		in := workload.UniformInts(n, 0, s)
+		skew := algorithms.NewSortSkew(p)
+		alg := algorithms.SampleSort{N: n, Input: blockInput(in, n), Skew: skew}
+		m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: s})
+		if err := m.Run(alg.Program()); err != nil {
+			panic(err)
+		}
+		st := m.RunStats()
+		ms = append(ms, measured{Total: float64(st.TotalCycles), Comm: float64(st.MaxComm())})
+		bs = append(bs, float64(skew.B()))
+		rs = append(rs, skew.R())
+		ows = append(ows, float64(skew.OutW()))
+	}
+	return sortRun{measured: avgMeasured(ms), B: stats.Mean(bs), R: stats.Mean(rs), OutW: stats.Mean(ows)}
+}
+
+// sortSkewOf converts a measurement's averaged skews into model inputs.
+func sortSkewOf(sr sortRun) models.SortSkews {
+	return models.SortSkews{B: sr.B, R: sr.R, OutW: sr.OutW}
+}
+
+// rankRun is one list-ranking measurement with its observed compression.
+type rankRun struct {
+	measured
+	X []float64 // per-iteration max active counts, averaged over runs
+	Z float64
+}
+
+// runRank measures the list-ranking program.
+func runRank(net machine.NetParams, n, p, runs int, seed int64) rankRun {
+	iters := algorithms.Iterations(0, p)
+	xs := make([]float64, iters)
+	var zs []float64
+	var ms []measured
+	for r := 0; r < runs; r++ {
+		s := seed + int64(r)
+		l := workload.RandomList(n, s)
+		tr := algorithms.NewRankTrace(p, iters)
+		alg := algorithms.ListRank{List: l, Trace: tr}
+		m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: s})
+		if err := m.Run(alg.Program()); err != nil {
+			panic(err)
+		}
+		st := m.RunStats()
+		ms = append(ms, measured{Total: float64(st.TotalCycles), Comm: float64(st.MaxComm())})
+		for i, x := range tr.X() {
+			xs[i] += x
+		}
+		zs = append(zs, tr.Z())
+	}
+	for i := range xs {
+		xs[i] /= float64(runs)
+	}
+	return rankRun{measured: avgMeasured(ms), X: xs, Z: stats.Mean(zs)}
+}

@@ -1,0 +1,27 @@
+package logp_test
+
+import (
+	"fmt"
+
+	"repro/internal/logp"
+)
+
+// ExampleSum reduces values to processor 0 with the binomial tree and
+// reports how long the LogP model says it takes.
+func ExampleSum() {
+	m := logp.New(logp.Params{L: 1600, O: 400, G: 200, P: 8})
+	var total int64
+	if err := m.Run(1, func(pc *logp.Proc) {
+		v := logp.Sum(pc, 0, 1)
+		if pc.ID() == 0 {
+			total = v
+		}
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println("total:", total)
+	fmt.Println("cycles:", m.Now())
+	// Output:
+	// total: 8
+	// cycles: 7200
+}

@@ -1,0 +1,182 @@
+// Package logp implements a LogP-model messaging runtime on the simulation
+// engine: fine-grained point-to-point messages charged with the model's
+// four parameters — latency L, per-message overhead o at sender and
+// receiver, per-message gap g between injections, and the capacity
+// constraint that at most ceil(L/g) messages may be in flight to any one
+// destination (the sender stalls otherwise).
+//
+// The paper (Section 2.1) contrasts QSM's bulk-synchronous shared memory
+// with exactly this style: communication that activates computation on
+// remote nodes (Active Messages) is more powerful but more detailed. The
+// package provides the classic LogP tree algorithms — broadcast and
+// summation (Karp, Sahay, Santos, Schauser) — and the ext2 experiment races
+// them against the QSM collective on the same word counts.
+package logp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params are the four LogP parameters, in cycles.
+type Params struct {
+	L sim.Time // latency
+	O sim.Time // per-message overhead, each side
+	G sim.Time // per-message gap (the reciprocal of injection bandwidth)
+	P int      // processors
+}
+
+// Default returns LogP parameters matching the default simulated network
+// for small (single-word) messages: o = 400, L = 1600, and g derived from
+// the NIC's per-message occupancy.
+func Default(p int) Params {
+	return Params{L: 1600, O: 400, G: 200, P: p}
+}
+
+// Capacity returns the model's bound on in-flight messages per destination.
+func (pp Params) Capacity() int {
+	if pp.G == 0 {
+		return 1
+	}
+	c := int((pp.L + pp.G - 1) / pp.G)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Message is a delivered LogP message.
+type Message struct {
+	Src  int
+	Tag  int
+	Args []int64
+}
+
+// Machine is a p-processor LogP machine.
+type Machine struct {
+	E      *sim.Engine
+	params Params
+	procs  []*Proc
+}
+
+// New builds a LogP machine.
+func New(params Params) *Machine {
+	if params.P <= 0 {
+		panic("logp: P must be positive")
+	}
+	e := sim.NewEngine()
+	m := &Machine{E: e, params: params}
+	for i := 0; i < params.P; i++ {
+		m.procs = append(m.procs, &Proc{
+			id:    i,
+			m:     m,
+			inbox: e.NewChan(),
+		})
+	}
+	return m
+}
+
+// P returns the processor count.
+func (m *Machine) P() int { return m.params.P }
+
+// Run executes prog on every processor.
+func (m *Machine) Run(seed int64, prog func(*Proc)) error {
+	for _, pc := range m.procs {
+		pc := pc
+		pc.proc = m.E.SpawnSeeded(fmt.Sprintf("logp%d", pc.id), seed+int64(pc.id)*104729, func(*sim.Proc) {
+			prog(pc)
+		})
+	}
+	return m.E.Run()
+}
+
+// Now returns the machine's current simulated time.
+func (m *Machine) Now() sim.Time { return m.E.Now() }
+
+// Proc is one LogP processor.
+type Proc struct {
+	id    int
+	m     *Machine
+	proc  *sim.Proc
+	inbox *sim.Chan
+
+	lastInject sim.Time
+	inflight   map[int][]sim.Time // per destination: delivery times
+
+	MsgsSent uint64
+}
+
+// ID returns the processor index.
+func (pc *Proc) ID() int { return pc.id }
+
+// P returns the machine size.
+func (pc *Proc) P() int { return pc.m.params.P }
+
+// Now returns the current simulated time.
+func (pc *Proc) Now() sim.Time { return pc.proc.Now() }
+
+// Compute advances simulated time by the given cycles of local work.
+func (pc *Proc) Compute(cycles sim.Time) { pc.proc.Advance(cycles) }
+
+// Send transmits a small message under the LogP charges: the sender is busy
+// for o cycles, consecutive injections are spaced by at least g, and if
+// ceil(L/g) messages are already in flight to dst the sender stalls until
+// one is delivered (the capacity constraint).
+func (pc *Proc) Send(dst, tag int, args ...int64) {
+	if dst < 0 || dst >= pc.P() {
+		panic(fmt.Sprintf("logp: invalid destination %d", dst))
+	}
+	if pc.inflight == nil {
+		pc.inflight = map[int][]sim.Time{}
+	}
+	// Capacity: wait until fewer than cap messages are undelivered at dst.
+	capacity := pc.m.params.Capacity()
+	fl := pc.inflight[dst]
+	live := fl[:0]
+	for _, t := range fl {
+		if t > pc.Now() {
+			live = append(live, t)
+		}
+	}
+	if len(live) >= capacity {
+		wait := live[len(live)-capacity]
+		if wait > pc.Now() {
+			pc.proc.Advance(wait - pc.Now())
+		}
+	}
+
+	pc.proc.Advance(pc.m.params.O) // send overhead
+
+	inject := pc.Now()
+	if next := pc.lastInject + pc.m.params.G; next > inject {
+		pc.proc.Advance(next - inject)
+		inject = next
+	}
+	pc.lastInject = inject
+
+	deliver := inject + pc.m.params.L
+	pc.inflight[dst] = append(live, deliver)
+	dstProc := pc.m.procs[dst]
+	dstProc.inbox.SendAfter(deliver-pc.Now(), Message{Src: pc.id, Tag: tag, Args: args})
+	pc.MsgsSent++
+}
+
+// Recv blocks until a message with the tag arrives (any source), charging
+// the receive overhead o.
+func (pc *Proc) Recv(tag int) Message {
+	var stash []Message
+	for {
+		msg := pc.inbox.Recv(pc.proc).(Message)
+		if msg.Tag == tag {
+			pc.proc.Advance(pc.m.params.O)
+			// Requeue unmatched messages (they land behind anything that
+			// arrived meanwhile; use distinct tags where order matters).
+			for _, s := range stash {
+				pc.inbox.Send(s)
+			}
+			return msg
+		}
+		stash = append(stash, msg)
+	}
+}

@@ -1,0 +1,178 @@
+package logp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSendRecvCharges(t *testing.T) {
+	m := New(Params{L: 1600, O: 400, G: 200, P: 2})
+	var sent, recvd sim.Time
+	err := m.Run(1, func(pc *Proc) {
+		if pc.ID() == 0 {
+			pc.Send(1, 7, 42)
+			sent = pc.Now()
+			return
+		}
+		msg := pc.Recv(7)
+		recvd = pc.Now()
+		if msg.Args[0] != 42 || msg.Src != 0 {
+			t.Errorf("bad message %+v", msg)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 400 {
+		t.Errorf("sender busy until %d, want o=400", sent)
+	}
+	// Delivery at o + L = 2000, plus receive overhead 400.
+	if recvd != 2400 {
+		t.Errorf("receiver done at %d, want 2400", recvd)
+	}
+}
+
+func TestGapSpacesInjections(t *testing.T) {
+	m := New(Params{L: 100, O: 10, G: 500, P: 2})
+	var done sim.Time
+	err := m.Run(1, func(pc *Proc) {
+		if pc.ID() == 0 {
+			for i := 0; i < 5; i++ {
+				pc.Send(1, 0, int64(i))
+			}
+			done = pc.Now()
+			return
+		}
+		for i := 0; i < 5; i++ {
+			pc.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Injections at >= 0, 500, 1000, 1500, 2000 despite o=10.
+	if done < 2000 {
+		t.Errorf("5 sends finished at %d, want >= 2000 (gap-limited)", done)
+	}
+}
+
+func TestCapacityStallsSender(t *testing.T) {
+	// cap = ceil(L/G) = 4: the 5th consecutive send to one destination must
+	// stall until the first delivery.
+	m := New(Params{L: 10000, O: 10, G: 2500, P: 2})
+	var after5 sim.Time
+	err := m.Run(1, func(pc *Proc) {
+		if pc.ID() == 0 {
+			for i := 0; i < 5; i++ {
+				pc.Send(1, 0, int64(i))
+			}
+			after5 = pc.Now()
+			return
+		}
+		for i := 0; i < 5; i++ {
+			pc.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after5 < 10000 {
+		t.Errorf("5th send completed at %d, want >= first delivery ~10010", after5)
+	}
+}
+
+func TestCapacityValue(t *testing.T) {
+	if c := (Params{L: 1600, G: 200}).Capacity(); c != 8 {
+		t.Errorf("capacity = %d, want 8", c)
+	}
+	if c := (Params{L: 100, G: 0}).Capacity(); c != 1 {
+		t.Errorf("zero-gap capacity = %d, want 1", c)
+	}
+}
+
+func TestBroadcastAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16, 23} {
+		for root := 0; root < p; root += 3 {
+			m := New(Params{L: 1600, O: 400, G: 200, P: p})
+			got := make([]int64, p)
+			err := m.Run(1, func(pc *Proc) {
+				got[pc.ID()] = Broadcast(pc, root, 777)
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+			for i, v := range got {
+				if v != 777 {
+					t.Fatalf("p=%d root=%d: proc %d got %d", p, root, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSumAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8, 13, 16} {
+		for root := 0; root < p; root += 5 {
+			m := New(Params{L: 1600, O: 400, G: 200, P: p})
+			var total int64
+			err := m.Run(1, func(pc *Proc) {
+				v := Sum(pc, root, int64(pc.ID()+1))
+				if pc.ID() == root {
+					total = v
+				}
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+			want := int64(p * (p + 1) / 2)
+			if total != want {
+				t.Fatalf("p=%d root=%d: sum = %d, want %d", p, root, total, want)
+			}
+		}
+	}
+}
+
+func TestBroadcastTimeLogarithmic(t *testing.T) {
+	elapsed := func(p int) sim.Time {
+		m := New(Params{L: 1600, O: 400, G: 200, P: p})
+		if err := m.Run(1, func(pc *Proc) { Broadcast(pc, 0, 1) }); err != nil {
+			t.Fatal(err)
+		}
+		return m.Now()
+	}
+	t4, t16, t64 := elapsed(4), elapsed(16), elapsed(64)
+	// Each quadrupling of p should add roughly a constant (2 rounds), not
+	// multiply: strongly sublinear growth.
+	if t16 >= 3*t4 || t64 >= 3*t16 {
+		t.Errorf("broadcast times not logarithmic: %d, %d, %d", t4, t16, t64)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		m := New(Default(8))
+		if err := m.Run(9, func(pc *Proc) {
+			Sum(pc, 0, int64(pc.ID()))
+			Broadcast(pc, 0, 5)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestInvalidDestPanics(t *testing.T) {
+	m := New(Default(2))
+	err := m.Run(1, func(pc *Proc) {
+		if pc.ID() == 0 {
+			pc.Send(9, 0)
+		}
+	})
+	if err == nil {
+		t.Fatal("invalid destination should error")
+	}
+}

@@ -1,0 +1,70 @@
+package logp
+
+// The classic LogP tree algorithms (Karp, Sahay, Santos, Schauser: "Optimal
+// broadcast and summation in the LogP model"). The binomial schedules here
+// are within a small constant of the optimal trees and need no global
+// coordination: every processor derives its role from its id.
+
+// broadcastTag and sumTag separate the two traffic classes.
+const (
+	broadcastTag = 1
+	sumTag       = 2
+)
+
+// Broadcast distributes val from root to every processor using a binomial
+// tree: in round k, every informed processor forwards to its partner
+// 2^k away. Returns the value at this processor. All processors call it.
+func Broadcast(pc *Proc, root int, val int64) int64 {
+	p := pc.P()
+	me := (pc.ID() - root + p) % p // renumber so the root is 0
+	if me != 0 {
+		msg := pc.Recv(broadcastTag)
+		val = msg.Args[0]
+	}
+	// Highest set bit of me tells when this processor was informed; it
+	// forwards in every later round.
+	start := 0
+	if me != 0 {
+		for b := 0; b < 32; b++ {
+			if me&(1<<b) != 0 {
+				start = b + 1
+			}
+		}
+	}
+	for k := start; (1 << k) < p; k++ {
+		peer := me | (1 << k)
+		if peer == me || peer >= p {
+			continue
+		}
+		pc.Send((peer+root)%p, broadcastTag, val)
+	}
+	return val
+}
+
+// Sum reduces every processor's val to the root along the mirror of the
+// broadcast's binomial tree and returns the total at the root (other
+// processors return their partial sums). All processors call it.
+func Sum(pc *Proc, root int, val int64) int64 {
+	p := pc.P()
+	me := (pc.ID() - root + p) % p
+	// In the broadcast tree, me's children are me | 1<<k for every k above
+	// me's highest set bit; its parent clears that highest bit.
+	hb := -1
+	for b := 0; b < 32; b++ {
+		if me&(1<<b) != 0 {
+			hb = b
+		}
+	}
+	for k := hb + 1; (1 << k) < p; k++ {
+		child := me | (1 << k)
+		if child == me || child >= p {
+			continue
+		}
+		val += pc.Recv(sumTag).Args[0] // children's partials, any order
+	}
+	if me != 0 {
+		parent := me &^ (1 << hb)
+		pc.Send((parent+root)%p, sumTag, val)
+	}
+	return val
+}

@@ -1,0 +1,282 @@
+// Package membank reproduces Section 4's memory system microbenchmark: p
+// processors hammer remote memory banks as fast as they can under three
+// access patterns, and the average access time under overload is measured.
+//
+//   - Random: every access goes to a random word of a random remote bank —
+//     the layout a QSM runtime achieves by hashing addresses.
+//   - Conflict: every access goes to bank 0 — an unmitigated hot spot.
+//   - NoConflict: processor i uses bank (i+1) mod B exclusively — the ideal
+//     hand-placed layout available only under a more detailed model.
+//
+// The four machine configurations stand in for the paper's testbeds (Sun
+// E5000 SMP natively and under BSPlib, a 10 Mbit Ethernet NOW under BSPlib,
+// and a Cray T3E using shmem). Absolute parameters are plausible-magnitude
+// stand-ins for hardware we do not have; what the experiment checks is the
+// queueing behaviour — Conflict is a factor of 2-4+ worse than NoConflict,
+// Random lands within tens of percent of NoConflict.
+package membank
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Pattern selects the access pattern of the microbenchmark.
+type Pattern int
+
+// Patterns.
+const (
+	Random Pattern = iota
+	Conflict
+	NoConflict
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Random:
+		return "Random"
+	case Conflict:
+		return "Conflict"
+	case NoConflict:
+		return "NoConflict"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Config describes one memory architecture.
+type Config struct {
+	Name  string
+	Procs int
+	Banks int
+
+	// ReqOverhead is processor work to issue one access (library software,
+	// TCP stack, ...), in cycles.
+	ReqOverhead sim.Time
+	// WireLatency is the one-way interconnect latency, in cycles.
+	WireLatency sim.Time
+	// BankTime is a bank's service time per access, in cycles.
+	BankTime sim.Time
+	// SharedMedium serialises every access on one shared channel (the NOW's
+	// 10 Mbit Ethernet) for MediumTime cycles.
+	SharedMedium bool
+	MediumTime   sim.Time
+
+	// ClockMHz converts cycles to microseconds in reports.
+	ClockMHz float64
+}
+
+// SMPNative models the 8-processor Sun UltraEnterprise accessed through
+// hardware cache-coherent shared memory (166 MHz processors, 8 banks,
+// line-interleaved).
+func SMPNative() Config {
+	return Config{
+		Name: "SMP-NATIVE", Procs: 8, Banks: 8,
+		ReqOverhead: 6, WireLatency: 30, BankTime: 55,
+		ClockMHz: 166,
+	}
+}
+
+// SMPBSPlib2 models the same SMP through the optimised ("level-2") BSPlib
+// shared-memory layer: the hardware path plus library software per access.
+func SMPBSPlib2() Config {
+	c := SMPNative()
+	c.Name = "SMP-BSPlib-L2"
+	c.ReqOverhead = 80
+	return c
+}
+
+// SMPBSPlib1 is the unoptimised ("level-1") BSPlib build: more per-access
+// software, and its extra buffering moves whole buffers per access, so each
+// access occupies the memory bank longer.
+func SMPBSPlib1() Config {
+	c := SMPNative()
+	c.Name = "SMP-BSPlib-L1"
+	c.ReqOverhead = 240
+	c.BankTime = 130
+	return c
+}
+
+// NOWBSPlib models sixteen 166 MHz UltraSPARCs running BSPlib over TCP on
+// shared 10 Mbit Ethernet: one bank per node, a huge per-access software
+// cost, and a shared medium that serialises every frame (a 64-byte minimum
+// frame at 10 Mbit/s is ~51 us of bus occupancy).
+func NOWBSPlib() Config {
+	return Config{
+		Name: "NOW-BSPlib", Procs: 16, Banks: 16,
+		ReqOverhead: 40000, WireLatency: 2000, BankTime: 12000,
+		SharedMedium: true, MediumTime: 8500,
+		ClockMHz: 166,
+	}
+}
+
+// CrayT3E models 32 nodes of a T3E: EV5 processors on a low-latency 3-D
+// torus using the shmem library.
+func CrayT3E() Config {
+	return Config{
+		Name: "Cray-T3E", Procs: 32, Banks: 32,
+		ReqOverhead: 60, WireLatency: 120, BankTime: 30,
+
+		ClockMHz: 450,
+	}
+}
+
+// AllConfigs returns the four Figure 7 architectures (with both BSPlib
+// optimisation levels for the SMP, as the paper shows).
+func AllConfigs() []Config {
+	return []Config{SMPNative(), SMPBSPlib2(), SMPBSPlib1(), NOWBSPlib(), CrayT3E()}
+}
+
+// Result is the measured outcome of one run.
+type Result struct {
+	Config   Config
+	Pattern  Pattern
+	Accesses int
+	// AvgCycles is the mean time per access observed by a processor.
+	AvgCycles float64
+	// MaxBankUtil is the busiest bank's utilisation in [0,1].
+	MaxBankUtil float64
+}
+
+// AvgMicros converts the mean access time to microseconds.
+func (r Result) AvgMicros() float64 {
+	if r.Config.ClockMHz == 0 {
+		return 0
+	}
+	return r.AvgCycles / r.Config.ClockMHz
+}
+
+// Run executes the microbenchmark: every processor performs accessesPerProc
+// synchronous remote accesses under the pattern. Deterministic in seed.
+func Run(cfg Config, pat Pattern, accessesPerProc int, seed int64) Result {
+	if cfg.Procs <= 0 || cfg.Banks <= 0 {
+		panic("membank: procs and banks must be positive")
+	}
+	e := sim.NewEngine()
+	banks := make([]*sim.Server, cfg.Banks)
+	for i := range banks {
+		banks[i] = e.NewServer()
+	}
+	var medium *sim.Server
+	if cfg.SharedMedium {
+		medium = e.NewServer()
+	}
+	totals := make([]sim.Time, cfg.Procs)
+	for pid := 0; pid < cfg.Procs; pid++ {
+		pid := pid
+		e.SpawnSeeded(fmt.Sprintf("proc%d", pid), int64(stats.Mix64(uint64(seed), uint64(pid))), func(p *sim.Proc) {
+			rng := p.Rand()
+			start := p.Now()
+			for a := 0; a < accessesPerProc; a++ {
+				var bank int
+				switch pat {
+				case Conflict:
+					bank = 0
+				case NoConflict:
+					bank = (pid + 1) % cfg.Banks
+				default:
+					// A random word of a random remote bank.
+					bank = rng.Intn(cfg.Banks)
+				}
+				p.Advance(cfg.ReqOverhead)
+				arrive := p.Now() + cfg.WireLatency
+				if medium != nil {
+					_, mEnd := medium.UseAt(p.Now(), cfg.MediumTime)
+					arrive = mEnd + cfg.WireLatency
+				}
+				_, bEnd := banks[bank].UseAt(arrive, cfg.BankTime)
+				done := bEnd + cfg.WireLatency
+				p.Advance(done - p.Now())
+			}
+			totals[pid] = p.Now() - start
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	var sum float64
+	for _, t := range totals {
+		sum += float64(t)
+	}
+	avg := sum / float64(cfg.Procs) / float64(accessesPerProc)
+	var maxUtil float64
+	end := float64(e.Now())
+	for _, b := range banks {
+		if end > 0 {
+			if u := float64(b.BusyCycles()) / end; u > maxUtil {
+				maxUtil = u
+			}
+		}
+	}
+	return Result{Config: cfg, Pattern: pat, Accesses: accessesPerProc, AvgCycles: avg, MaxBankUtil: maxUtil}
+}
+
+// RunAll measures every pattern on cfg.
+func RunAll(cfg Config, accessesPerProc int, seed int64) []Result {
+	out := make([]Result, 0, 3)
+	for _, pat := range []Pattern{Random, Conflict, NoConflict} {
+		out = append(out, Run(cfg, pat, accessesPerProc, seed))
+	}
+	return out
+}
+
+// RunHotFraction runs the microbenchmark with a partial hot spot: each
+// access targets bank 0 with probability hotFrac and a uniformly random
+// bank otherwise — the paper's closing caveat that real programs are less
+// concurrent than the stress patterns. Deterministic in seed.
+func RunHotFraction(cfg Config, hotFrac float64, accessesPerProc int, seed int64) Result {
+	if hotFrac < 0 || hotFrac > 1 {
+		panic("membank: hotFrac must be in [0,1]")
+	}
+	e := sim.NewEngine()
+	banks := make([]*sim.Server, cfg.Banks)
+	for i := range banks {
+		banks[i] = e.NewServer()
+	}
+	var medium *sim.Server
+	if cfg.SharedMedium {
+		medium = e.NewServer()
+	}
+	totals := make([]sim.Time, cfg.Procs)
+	for pid := 0; pid < cfg.Procs; pid++ {
+		pid := pid
+		e.SpawnSeeded(fmt.Sprintf("proc%d", pid), int64(stats.Mix64(uint64(seed), uint64(pid))), func(p *sim.Proc) {
+			rng := p.Rand()
+			start := p.Now()
+			for a := 0; a < accessesPerProc; a++ {
+				bank := rng.Intn(cfg.Banks)
+				if rng.Float64() < hotFrac {
+					bank = 0
+				}
+				p.Advance(cfg.ReqOverhead)
+				arrive := p.Now() + cfg.WireLatency
+				if medium != nil {
+					_, mEnd := medium.UseAt(p.Now(), cfg.MediumTime)
+					arrive = mEnd + cfg.WireLatency
+				}
+				_, bEnd := banks[bank].UseAt(arrive, cfg.BankTime)
+				p.Advance(bEnd + cfg.WireLatency - p.Now())
+			}
+			totals[pid] = p.Now() - start
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	var sum float64
+	for _, t := range totals {
+		sum += float64(t)
+	}
+	avg := sum / float64(cfg.Procs) / float64(accessesPerProc)
+	var maxUtil float64
+	end := float64(e.Now())
+	for _, b := range banks {
+		if end > 0 {
+			if u := float64(b.BusyCycles()) / end; u > maxUtil {
+				maxUtil = u
+			}
+		}
+	}
+	return Result{Config: cfg, Pattern: Random, Accesses: accessesPerProc, AvgCycles: avg, MaxBankUtil: maxUtil}
+}

@@ -1,0 +1,188 @@
+// Package models implements the analytical communication-time predictors
+// the paper charts against measurements: QSM (no latency, no per-message
+// overhead, no barrier cost), BSP (adds a per-phase synchronization term L),
+// and LogP-style charges, specialised to the three algorithms.
+//
+// All predictions are in cycles. The effective gap GWord (cycles per remote
+// word moved in bulk) and the per-phase fixed cost L are calibration
+// constants measured through the library (Table 3), because "calculating
+// appropriate constants for an algorithm on a particular architecture is
+// nontrivial" — the paper does the same.
+package models
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Calib holds the machine constants predictions are evaluated with.
+type Calib struct {
+	P     int
+	GWord float64 // observed cycles per remote word (bulk transfer)
+	L     float64 // per-phase fixed cost: plan exchange + barrier, cycles
+	Lat   float64 // hardware latency l, cycles (LogP-style charges)
+	O     float64 // per-message overhead o, cycles (LogP-style charges)
+}
+
+// ---- Prefix sums (Figure 1) ----
+// The algorithm's only communication is each processor's (p-1)-word
+// broadcast, in one phase.
+
+// PrefixQSMComm is the QSM communication prediction g(p-1).
+func (c Calib) PrefixQSMComm() float64 { return c.GWord * float64(c.P-1) }
+
+// PrefixBSPComm adds the single phase's synchronization cost.
+func (c Calib) PrefixBSPComm() float64 { return c.PrefixQSMComm() + c.L }
+
+// PrefixLogPComm additionally charges per-message overhead for the p-1
+// single-word messages and one pipelined latency.
+func (c Calib) PrefixLogPComm() float64 {
+	return c.PrefixQSMComm() + 2*c.O*float64(c.P-1) + c.Lat + c.L
+}
+
+// ---- Sample sort (Figures 2, 4, 5, 6) ----
+
+// SortPhases is the paper's phase count for sample sort.
+const SortPhases = 5
+
+// SortSkews are the load-balance inputs to the sample-sort predictions.
+type SortSkews struct {
+	B float64 // largest bucket size
+	R float64 // largest fraction of a bucket arriving from remote processors
+	// OutW is the number of remote words written during the final output
+	// redistribution. With a blocked output a perfectly balanced run writes
+	// its bucket into its own partition, so OutW captures the placement
+	// drift that bucket skew causes (the paper's gB term, specialised to
+	// our implementation's layout).
+	OutW float64
+}
+
+// SortBestCase returns the unreasonably optimistic skews: perfectly equal
+// buckets (which also align the output exactly with the blocked partitions,
+// so no output word is remote), remote fraction (p-1)/p.
+func SortBestCase(n, p int) SortSkews {
+	return SortSkews{B: float64(n) / float64(p), R: float64(p-1) / float64(p), OutW: 0}
+}
+
+// SortWHP returns bounded skews that hold with probability at least 1-eps.
+// Bucket sizes are governed by pivot placement: a bucket exceeds
+// (1+d)(n/p) only if fewer than s = oversample*log2(n) of the sorted
+// samples fall in a span of (1+d)(n/p) elements, a Chernoff event with
+// d ~ sqrt(2 ln(2p/eps) / s). R bounds the remote portion of such a bucket;
+// OutW bounds the output drift by p*(B - n/p).
+func SortWHP(n, p, oversample int, eps float64) SortSkews {
+	s := float64(oversample) * math.Log2(float64(n))
+	if s < 1 {
+		s = 1
+	}
+	d := math.Sqrt(2 * math.Log(2*float64(p)/eps) / s)
+	b := (1 + d) * float64(n) / float64(p)
+	mu := b * float64(p-1) / float64(p)
+	r := stats.MaxOfBound(mu, eps/2, p) / b
+	if r > 1 {
+		r = 1
+	}
+	outW := float64(p) * (b - float64(n)/float64(p))
+	if outW > b {
+		outW = b
+	}
+	return SortSkews{B: b, R: r, OutW: outW}
+}
+
+// SortQSMComm is the QSM communication prediction
+// c(p-1)g log n + 3(p-1)g + gBr + g*OutW, where oversample is the
+// algorithm's per-processor sample multiplier c (the paper's form, with its
+// gB output term specialised to the measured/bounded remote output volume).
+func (c Calib) SortQSMComm(n, oversample int, sk SortSkews) float64 {
+	p1 := float64(c.P - 1)
+	logn := math.Log2(float64(n))
+	return c.GWord * (float64(oversample)*p1*logn + 3*p1 + sk.B*sk.R + sk.OutW)
+}
+
+// SortBSPComm adds the 5-phase synchronization cost.
+func (c Calib) SortBSPComm(n, oversample int, sk SortSkews) float64 {
+	return c.SortQSMComm(n, oversample, sk) + SortPhases*c.L
+}
+
+// ---- List ranking (Figure 3) ----
+
+// RankSkews are the load-balance inputs to the list-ranking predictions.
+type RankSkews struct {
+	X      []float64 // x_i: maximum active elements at any processor, per iteration
+	Z      float64   // elements gathered on processor 0
+	C1, C2 float64   // correction factors on candidate and removal counts
+}
+
+// RankBestCase returns the idealised no-skew inputs: x_i = (n/p)(3/4)^(i-1),
+// z = n(3/4)^iters, c1 = c2 = 1.
+func RankBestCase(n, p, iters int) RankSkews {
+	xs := make([]float64, iters)
+	for i := range xs {
+		xs[i] = stats.GeometricDecay(float64(n)/float64(p), 0.75, i)
+	}
+	return RankSkews{X: xs, Z: stats.GeometricDecay(float64(n), 0.75, iters), C1: 1, C2: 1}
+}
+
+// RankWHP returns Chernoff-bounded inputs holding with probability >= 1-eps:
+// the per-iteration survivor counts shrink by at least the lower-tail bound
+// on removals, and the candidate/removal correction factors c1, c2 absorb
+// the upper-tail fluctuation.
+func RankWHP(n, p, iters int, eps float64) RankSkews {
+	if iters == 0 {
+		return RankBestCase(n, p, iters)
+	}
+	// Union budget over iterations and processors.
+	per := eps / float64(3*iters*p)
+	xs := make([]float64, iters)
+	x := float64(n) / float64(p)
+	c1, c2 := 1.0, 1.0
+	for i := 0; i < iters; i++ {
+		xs[i] = x
+		// Removals have mean x/4; whp at least (1-d) of that.
+		mu := x / 4
+		d := math.Sqrt(2 * math.Log(1/per) / math.Max(mu, 1))
+		if d > 1 {
+			d = 1
+		}
+		x -= mu * (1 - d)
+		if x < 1 {
+			x = 1
+		}
+		// Candidates have mean x/2; the c1 factor bounds the excess.
+		if f := 1 + stats.ChernoffDelta(math.Max(xs[i]/2, 1), per); f > c1 {
+			c1 = f
+		}
+		if f := 1 + stats.ChernoffDelta(math.Max(xs[i]/4, 1), per); f > c2 {
+			c2 = f
+		}
+	}
+	z := x * float64(p)
+	return RankSkews{X: xs, Z: z, C1: c1, C2: c2}
+}
+
+// RankMeasured wraps measured compression into prediction inputs.
+func RankMeasured(xs []float64, z float64) RankSkews {
+	return RankSkews{X: xs, Z: z, C1: 1, C2: 1}
+}
+
+// RankQSMComm is the QSM communication prediction
+// pi*g*(c1/2 + 7c2/4)*sum(x_i) + 4*pi'*g*z with pi = pi' = (p-1)/p.
+func (c Calib) RankQSMComm(sk RankSkews) float64 {
+	pi := float64(c.P-1) / float64(c.P)
+	var sum float64
+	for _, x := range sk.X {
+		sum += x
+	}
+	return pi*c.GWord*(sk.C1/2+7*sk.C2/4)*sum + 4*pi*c.GWord*sk.Z
+}
+
+// RankPhases is the bulk-synchronous phase count of our implementation:
+// 2 setup + 2 per elimination iteration + 3 around the sequential stage +
+// 2 per expansion iteration.
+func RankPhases(iters int) int { return 5 + 4*iters }
+
+// RankBSPComm adds the per-phase synchronization cost.
+func (c Calib) RankBSPComm(sk RankSkews, iters int) float64 {
+	return c.RankQSMComm(sk) + float64(RankPhases(iters))*c.L
+}

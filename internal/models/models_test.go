@@ -1,0 +1,150 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+func calib() Calib {
+	return Calib{P: 16, GWord: 280, L: 60000, Lat: 1600, O: 400}
+}
+
+func TestPrefixOrdering(t *testing.T) {
+	c := calib()
+	qsm := c.PrefixQSMComm()
+	bsp := c.PrefixBSPComm()
+	logp := c.PrefixLogPComm()
+	if !(qsm < bsp && bsp < logp) {
+		t.Errorf("want QSM (%.0f) < BSP (%.0f) < LogP (%.0f)", qsm, bsp, logp)
+	}
+	if qsm != 280*15 {
+		t.Errorf("PrefixQSMComm = %.0f, want %d", qsm, 280*15)
+	}
+}
+
+func TestPrefixConstantInN(t *testing.T) {
+	// The prefix prediction has no n term at all — the paper's point that
+	// the models predict flat communication for prefix sums.
+	c := calib()
+	if c.PrefixQSMComm() != c.PrefixQSMComm() {
+		t.Fatal("unstable")
+	}
+}
+
+func TestSortBestCase(t *testing.T) {
+	sk := SortBestCase(16000, 16)
+	if sk.B != 1000 {
+		t.Errorf("B = %g, want 1000", sk.B)
+	}
+	if math.Abs(sk.R-15.0/16) > 1e-12 {
+		t.Errorf("R = %g, want 15/16", sk.R)
+	}
+}
+
+func TestSortWHPBoundsAboveBest(t *testing.T) {
+	for _, n := range []int{10000, 100000, 1000000} {
+		best := SortBestCase(n, 16)
+		whp := SortWHP(n, 16, 2, 0.1)
+		if whp.B <= best.B {
+			t.Errorf("n=%d: WHP B %g not above best %g", n, whp.B, best.B)
+		}
+		if whp.R < best.R && whp.R != 1 {
+			t.Errorf("n=%d: WHP R %g below best %g", n, whp.R, best.R)
+		}
+		if whp.R > 1 {
+			t.Errorf("R = %g > 1", whp.R)
+		}
+	}
+}
+
+func TestSortWHPTightensWithN(t *testing.T) {
+	// Relative slack (B_whp / B_best) must shrink as n grows.
+	small := SortWHP(10000, 16, 2, 0.1).B / SortBestCase(10000, 16).B
+	large := SortWHP(1000000, 16, 2, 0.1).B / SortBestCase(1000000, 16).B
+	if large >= small {
+		t.Errorf("WHP slack did not shrink: %g -> %g", small, large)
+	}
+}
+
+func TestSortCommGrowsLinearly(t *testing.T) {
+	c := calib()
+	s1 := c.SortQSMComm(100000, 2, SortBestCase(100000, 16))
+	s2 := c.SortQSMComm(1000000, 2, SortBestCase(1000000, 16))
+	ratio := s2 / s1
+	if ratio < 8 || ratio > 11 {
+		t.Errorf("10x n gave %.1fx comm, want ~10x (B dominates)", ratio)
+	}
+}
+
+func TestSortBSPAddsPhases(t *testing.T) {
+	c := calib()
+	sk := SortBestCase(50000, 16)
+	if got := c.SortBSPComm(50000, 2, sk) - c.SortQSMComm(50000, 2, sk); math.Abs(got-5*c.L) > 1e-6*c.L {
+		t.Errorf("BSP-QSM = %g, want 5L = %g", got, 5*c.L)
+	}
+}
+
+func TestRankBestCaseDecays(t *testing.T) {
+	sk := RankBestCase(160000, 16, 16)
+	if sk.X[0] != 10000 {
+		t.Errorf("x_1 = %g, want 10000", sk.X[0])
+	}
+	for i := 1; i < len(sk.X); i++ {
+		if sk.X[i] >= sk.X[i-1] {
+			t.Fatal("x_i not decreasing")
+		}
+	}
+	want := 160000 * math.Pow(0.75, 16)
+	if math.Abs(sk.Z-want) > 1e-6*want {
+		t.Errorf("Z = %g, want %g", sk.Z, want)
+	}
+}
+
+func TestRankWHPAboveBest(t *testing.T) {
+	best := RankBestCase(160000, 16, 16)
+	whp := RankWHP(160000, 16, 16, 0.1)
+	c := calib()
+	if c.RankQSMComm(whp) <= c.RankQSMComm(best) {
+		t.Errorf("WHP comm %.0f not above best %.0f",
+			c.RankQSMComm(whp), c.RankQSMComm(best))
+	}
+	if whp.C1 < 1 || whp.C2 < 1 {
+		t.Error("correction factors below 1")
+	}
+	for i := range whp.X {
+		if whp.X[i] < best.X[i] {
+			t.Errorf("WHP x_%d = %g below best %g", i, whp.X[i], best.X[i])
+		}
+	}
+}
+
+func TestRankZeroIters(t *testing.T) {
+	sk := RankWHP(1000, 1, 0, 0.1)
+	if len(sk.X) != 0 {
+		t.Error("p=1 should have no elimination iterations")
+	}
+	c := calib()
+	c.P = 1
+	if got := c.RankQSMComm(sk); got != 0 {
+		t.Errorf("single-proc comm = %g, want 0", got)
+	}
+}
+
+func TestRankPhases(t *testing.T) {
+	if RankPhases(16) != 69 {
+		t.Errorf("RankPhases(16) = %d, want 69", RankPhases(16))
+	}
+}
+
+func TestRankMeasured(t *testing.T) {
+	sk := RankMeasured([]float64{100, 75, 50}, 40)
+	if sk.C1 != 1 || sk.C2 != 1 || sk.Z != 40 {
+		t.Error("measured skews should carry unit corrections")
+	}
+	c := calib()
+	pi := 15.0 / 16
+	want := pi*280*(0.5+1.75)*225 + 4*pi*280*40
+	if got := c.RankQSMComm(sk); math.Abs(got-want) > 1e-6 {
+		t.Errorf("RankQSMComm = %g, want %g", got, want)
+	}
+}

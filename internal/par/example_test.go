@@ -1,0 +1,25 @@
+package par_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Example shows the minimal QSM program: every processor publishes a value,
+// synchronizes, and reads everyone else's.
+func Example() {
+	m := par.NewMachine(4, par.Options{Seed: 1})
+	err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("vals", ctx.P())
+		ctx.Sync()
+		ctx.Put(h, ctx.ID(), []int64{int64(ctx.ID() * ctx.ID())})
+		ctx.Sync()
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Array("vals"))
+	// Output: [0 1 4 9]
+}

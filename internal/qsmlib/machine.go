@@ -1,0 +1,230 @@
+// Package qsmlib is the simulated-machine backend of the QSM model: the
+// bulk-synchronous shared-memory library of Section 3.1.2, reimplemented on
+// the machine/msg substrate.
+//
+// Access to remote memory happens through explicit Get and Put calls that
+// merely enqueue requests on the local node. Communication happens when
+// Sync is called: the system first builds and distributes a communications
+// plan saying how many put words and get requests will flow between each
+// pair of nodes, then nodes exchange data in a staggered order designed to
+// reduce receive-side contention and avoid deadlock (node i talks to node
+// (i+r) mod p in round r), owners serve get replies from pre-phase state,
+// writes are applied, and a barrier ends the phase.
+package qsmlib
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Options configure the simulated QSM machine.
+type Options struct {
+	Net machine.NetParams // zero value uses machine.DefaultNet
+	SW  msg.SWParams      // zero value uses msg.DefaultSW
+	// Layout is the default layout for arrays registered without an
+	// explicit spec; LayoutDefault means blocked.
+	Layout core.LayoutKind
+	Seed   int64
+	// TreeBarrier selects the dissemination barrier instead of the central
+	// one at the end of every Sync.
+	TreeBarrier bool
+	// NaiveExchange disables the staggered exchange schedule: every node
+	// sends to peers in index order 0,1,2,..., concentrating early traffic
+	// on low-numbered receive NICs. Exists for the ablation benchmarks.
+	NaiveExchange bool
+	// Model builds each node's processor model; nil uses Table 2 analytic.
+	Model func(id int) cpu.Model
+}
+
+// Machine is a simulated p-node QSM machine.
+type Machine struct {
+	MP   *machine.Multiprocessor
+	opts Options
+
+	arrays []*array
+	byName map[string]core.Handle
+	ctxs   []*qctx
+}
+
+type array struct {
+	name  string
+	data  []int64
+	lay   core.Layout
+	frees int // processors that have called Free; destroyed at P
+	freed bool
+}
+
+// New builds a p-node simulated QSM machine.
+func New(p int, opts Options) *Machine {
+	if opts.Net == (machine.NetParams{}) {
+		opts.Net = machine.DefaultNet()
+	}
+	if opts.SW == (msg.SWParams{}) {
+		opts.SW = msg.DefaultSW()
+	}
+	m := &Machine{opts: opts, byName: map[string]core.Handle{}}
+	m.MP = machine.New(p, opts.Net, opts.Model)
+	return m
+}
+
+// P returns the node count.
+func (m *Machine) P() int { return m.MP.P() }
+
+// G returns the effective QSM gap parameter implied by the machine's
+// hardware network: cycles per 8-byte word at the hardware bandwidth.
+func (m *Machine) G() float64 { return m.opts.Net.Gap * 8 }
+
+// Run executes prog as a QSM program on all nodes and returns when the
+// simulation completes.
+func (m *Machine) Run(prog core.Program) error {
+	m.ctxs = make([]*qctx, m.P())
+	return m.MP.Run(m.opts.Seed, func(n *machine.Node) {
+		ctx := newQctx(m, n)
+		m.ctxs[n.ID()] = ctx
+		prog(ctx)
+	})
+}
+
+// RunProfiled executes prog with cost recording.
+func (m *Machine) RunProfiled(prog core.Program, flags core.Flags) (*core.Profile, error) {
+	col := core.NewCollector(m.P(), m, cpu.NewAnalytic(cpu.Table2()), flags)
+	err := m.Run(func(ctx core.Ctx) { prog(core.NewRecorder(ctx, col)) })
+	profile, perr := col.Finish()
+	if err == nil {
+		err = perr
+	}
+	return profile, err
+}
+
+// Stats summarise a completed run.
+type Stats struct {
+	TotalCycles sim.Time // end-to-end simulated time
+	// CommCycles and CompCycles are per-node library (communication) and
+	// Compute time.
+	CommCycles []sim.Time
+	CompCycles []sim.Time
+	MsgsSent   uint64
+	BytesSent  uint64
+}
+
+// MaxComm returns the bottleneck node's communication time.
+func (s Stats) MaxComm() sim.Time {
+	var m sim.Time
+	for _, c := range s.CommCycles {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MaxComp returns the bottleneck node's computation time.
+func (s Stats) MaxComp() sim.Time {
+	var m sim.Time
+	for _, c := range s.CompCycles {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// RunStats returns the measurements of the last Run.
+func (m *Machine) RunStats() Stats {
+	s := Stats{TotalCycles: m.MP.E.Now()}
+	for _, n := range m.MP.Nodes {
+		s.MsgsSent += n.MsgsSent
+		s.BytesSent += n.BytesSent
+		s.CompCycles = append(s.CompCycles, n.CompCycles)
+	}
+	for _, c := range m.ctxs {
+		if c == nil {
+			s.CommCycles = append(s.CommCycles, 0)
+			continue
+		}
+		s.CommCycles = append(s.CommCycles, c.commCycles)
+	}
+	return s
+}
+
+// Timeline returns node id's per-phase sync spans from the last Run: when
+// each Sync began and ended in simulated time and how many words it moved.
+// Useful for visualising where a program's time goes.
+func (m *Machine) Timeline(id int) []PhaseSpan {
+	if id < 0 || id >= len(m.ctxs) || m.ctxs[id] == nil {
+		return nil
+	}
+	return m.ctxs[id].timeline
+}
+
+// Array returns the backing data of a registered array for inspection after
+// Run, or nil if never registered.
+func (m *Machine) Array(name string) []int64 {
+	h, ok := m.byName[name]
+	if !ok {
+		return nil
+	}
+	return m.arrays[h].data
+}
+
+func (m *Machine) free(h core.Handle) {
+	if h < 0 || int(h) >= len(m.arrays) {
+		panic(fmt.Sprintf("qsmlib: invalid handle %d", h))
+	}
+	a := m.arrays[h]
+	if a.freed {
+		return
+	}
+	a.frees++
+	if a.frees < m.P() {
+		// Collective: peers may still access the array this phase; it is
+		// destroyed once every processor has freed it.
+		return
+	}
+	a.freed = true
+	a.data = nil
+	delete(m.byName, a.name)
+}
+
+func (m *Machine) register(name string, n int, spec core.LayoutSpec) core.Handle {
+	if h, ok := m.byName[name]; ok {
+		if len(m.arrays[h].data) != n {
+			panic(fmt.Sprintf("qsmlib: array %q re-registered with size %d != %d", name, n, len(m.arrays[h].data)))
+		}
+		return h
+	}
+	h := core.Handle(len(m.arrays))
+	hseed := stats.Mix64(uint64(m.opts.Seed), uint64(h)+0xabcd)
+	m.arrays = append(m.arrays, &array{
+		name: name,
+		data: make([]int64, n),
+		lay:  core.ResolveLayout(spec, n, m.P(), m.opts.Layout, hseed),
+	})
+	m.byName[name] = h
+	return h
+}
+
+func (m *Machine) arr(h core.Handle) *array {
+	if h < 0 || int(h) >= len(m.arrays) {
+		panic(fmt.Sprintf("qsmlib: invalid handle %d", h))
+	}
+	a := m.arrays[h]
+	if a.freed {
+		panic(fmt.Sprintf("qsmlib: array %q used after Free", a.name))
+	}
+	return a
+}
+
+// OwnerOf implements core.Ownership.
+func (m *Machine) OwnerOf(h core.Handle, i int) int { return m.arr(h).lay.OwnerOf(i) }
+
+// PerOwner implements core.Ownership.
+func (m *Machine) PerOwner(h core.Handle, off, n int) []int {
+	return m.arr(h).lay.PerOwner(off, n)
+}

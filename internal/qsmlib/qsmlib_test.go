@@ -1,0 +1,455 @@
+package qsmlib
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for _, layout := range []core.LayoutKind{core.LayoutBlocked, core.LayoutCyclic, core.LayoutHashed} {
+		layout := layout
+		t.Run(fmt.Sprint(layout), func(t *testing.T) {
+			m := New(4, Options{Layout: layout, Seed: 1})
+			err := m.Run(func(ctx core.Ctx) {
+				h := ctx.Register("a", 64)
+				ctx.Sync()
+				vals := make([]int64, 16)
+				for i := range vals {
+					vals[i] = int64(ctx.ID()*16 + i + 1000)
+				}
+				ctx.Put(h, ctx.ID()*16, vals)
+				ctx.Sync()
+				got := make([]int64, 64)
+				ctx.Get(h, 0, got)
+				ctx.Sync()
+				for i, v := range got {
+					if v != int64(i+1000) {
+						panic("bad value")
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := m.Array("a")
+			for i, v := range data {
+				if v != int64(i+1000) {
+					t.Fatalf("backing[%d] = %d, want %d", i, v, i+1000)
+				}
+			}
+		})
+	}
+}
+
+func TestGetSeesPrePhaseState(t *testing.T) {
+	m := New(2, Options{Seed: 1})
+	err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", 2)
+		ctx.Sync()
+		if ctx.ID() == 0 {
+			ctx.Put(h, 0, []int64{7, 7})
+		}
+		ctx.Sync()
+		got := make([]int64, 1)
+		if ctx.ID() == 1 {
+			ctx.Get(h, 0, got)
+		}
+		if ctx.ID() == 0 {
+			ctx.Put(h, 1, []int64{9}) // write a different word, same phase
+		}
+		ctx.Sync()
+		if ctx.ID() == 1 && got[0] != 7 {
+			panic("get did not see pre-phase state")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedRoundTrip(t *testing.T) {
+	for _, layout := range []core.LayoutKind{core.LayoutBlocked, core.LayoutHashed} {
+		layout := layout
+		t.Run(fmt.Sprint(layout), func(t *testing.T) {
+			m := New(4, Options{Layout: layout, Seed: 2})
+			const n = 128
+			err := m.Run(func(ctx core.Ctx) {
+				h := ctx.Register("a", n)
+				ctx.Sync()
+				var idx []int
+				var vals []int64
+				for i := ctx.ID(); i < n; i += ctx.P() {
+					idx = append(idx, i)
+					vals = append(vals, int64(3*i))
+				}
+				ctx.PutIndexed(h, idx, vals)
+				ctx.Sync()
+				// Gather a rotated strided set.
+				var ridx []int
+				for i := (ctx.ID() + 2) % ctx.P(); i < n; i += ctx.P() {
+					ridx = append(ridx, i)
+				}
+				dst := make([]int64, len(ridx))
+				ctx.GetIndexed(h, ridx, dst)
+				ctx.Sync()
+				for k, i := range ridx {
+					if dst[k] != int64(3*i) {
+						panic("bad indexed value")
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConflictingWritesDeterministic(t *testing.T) {
+	m := New(4, Options{Seed: 3})
+	var got int64
+	err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", 1)
+		ctx.Sync()
+		ctx.Put(h, 0, []int64{int64(100 + ctx.ID())})
+		ctx.Sync()
+		d := make([]int64, 1)
+		if ctx.ID() == 2 {
+			ctx.Get(h, 0, d)
+		}
+		ctx.Sync()
+		if ctx.ID() == 2 {
+			got = d[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 103 {
+		t.Errorf("conflicting writes resolved to %d, want 103 (highest source)", got)
+	}
+}
+
+func TestCommTimeGrowsWithVolume(t *testing.T) {
+	run := func(words int) sim.Time {
+		m := New(4, Options{Seed: 4})
+		if err := m.Run(func(ctx core.Ctx) {
+			h := ctx.Register("a", words*4)
+			ctx.Sync()
+			// Write the next processor's partition: all remote.
+			buf := make([]int64, words)
+			ctx.Put(h, ((ctx.ID()+1)%4)*words, buf)
+			ctx.Sync()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.RunStats().MaxComm()
+	}
+	small, large := run(100), run(10000)
+	if large < 5*small {
+		t.Errorf("100x volume: comm %d -> %d, want strong growth", small, large)
+	}
+}
+
+func TestLocalPutsCheaperThanRemote(t *testing.T) {
+	run := func(remote bool) sim.Time {
+		m := New(4, Options{Seed: 5})
+		if err := m.Run(func(ctx core.Ctx) {
+			h := ctx.Register("a", 40000)
+			ctx.Sync()
+			buf := make([]int64, 10000)
+			dst := ctx.ID()
+			if remote {
+				dst = (ctx.ID() + 1) % 4
+			}
+			ctx.Put(h, dst*10000, buf)
+			ctx.Sync()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.RunStats().TotalCycles
+	}
+	local, remote := run(false), run(true)
+	if remote < 2*local {
+		t.Errorf("remote puts (%d) should be much slower than local (%d)", remote, local)
+	}
+}
+
+func TestRunStatsCounters(t *testing.T) {
+	m := New(2, Options{Seed: 6})
+	if err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", 2)
+		ctx.Sync()
+		ctx.Put(h, (ctx.ID()+1)%2, []int64{1})
+		ctx.Sync()
+		ctx.Compute(cpu.BlockSum(1000))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := m.RunStats()
+	if s.MsgsSent == 0 || s.BytesSent == 0 {
+		t.Error("no messages counted")
+	}
+	if s.MaxComm() == 0 {
+		t.Error("no communication time recorded")
+	}
+	if s.MaxComp() == 0 {
+		t.Error("no computation time recorded")
+	}
+	if s.TotalCycles < s.MaxComm() {
+		t.Error("total < comm")
+	}
+}
+
+func TestTreeBarrierOption(t *testing.T) {
+	m := New(8, Options{Seed: 7, TreeBarrier: true})
+	if err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", 8)
+		ctx.Sync()
+		ctx.Put(h, ctx.ID(), []int64{int64(ctx.ID())})
+		ctx.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.Array("a") {
+		if v != int64(i) {
+			t.Fatalf("data wrong with tree barrier: %v", m.Array("a"))
+		}
+	}
+}
+
+func TestRunProfiledRemoteClassification(t *testing.T) {
+	m := New(4, Options{Seed: 8})
+	prof, err := m.RunProfiled(func(ctx core.Ctx) {
+		h := ctx.Register("a", 4)
+		ctx.Sync()
+		ctx.Put(h, ctx.ID(), []int64{1}) // local under Blocked
+		ctx.Sync()
+		d := make([]int64, 4)
+		ctx.Get(h, 0, d) // 3 remote words
+		ctx.Sync()
+	}, core.Flags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw := prof.Phases[1].MaxRW(); rw != 0 {
+		t.Errorf("phase 1 m_rw = %d, want 0 (local puts)", rw)
+	}
+	if rw := prof.Phases[2].MaxRW(); rw != 3 {
+		t.Errorf("phase 2 m_rw = %d, want 3", rw)
+	}
+}
+
+func TestHashedLayoutSpreadsOwnership(t *testing.T) {
+	m := New(8, Options{Layout: core.LayoutHashed, Seed: 9})
+	var per []int
+	if err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", 8000)
+		ctx.Sync()
+		if ctx.ID() == 0 {
+			per = m.PerOwner(h, 0, 8000)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for o, n := range per {
+		if n < 700 || n > 1300 {
+			t.Errorf("owner %d has %d of 8000 words, want ~1000", o, n)
+		}
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	run := func() sim.Time {
+		m := New(4, Options{Seed: 10})
+		if err := m.Run(func(ctx core.Ctx) {
+			h := ctx.Register("a", 1024)
+			ctx.Sync()
+			buf := make([]int64, 64)
+			for r := 0; r < 3; r++ {
+				ctx.Put(h, int(ctx.Rand().Int31n(960)), buf)
+				ctx.Sync()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.RunStats().TotalCycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic simulation: %d vs %d", a, b)
+	}
+}
+
+func TestEmptySyncCheap(t *testing.T) {
+	m := New(16, Options{Seed: 11})
+	if err := m.Run(func(ctx core.Ctx) {
+		ctx.Sync()
+		ctx.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An empty sync is plan + barrier; it must stay well under a
+	// data-heavy sync but be nonzero.
+	total := m.RunStats().TotalCycles
+	if total == 0 || total > 500000 {
+		t.Errorf("two empty syncs took %d cycles", total)
+	}
+}
+
+func TestRegisterMismatchPanics(t *testing.T) {
+	m := New(2, Options{})
+	err := m.Run(func(ctx core.Ctx) {
+		if ctx.ID() == 0 {
+			ctx.Register("a", 10)
+		} else {
+			ctx.Register("a", 10)
+			ctx.Register("a", 20)
+		}
+	})
+	if err == nil {
+		t.Fatal("size mismatch should error")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	m := New(2, Options{})
+	err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", 4)
+		ctx.Sync()
+		if ctx.ID() == 0 {
+			ctx.GetIndexed(h, []int{9}, make([]int64, 1))
+		}
+		ctx.Sync()
+	})
+	if err == nil {
+		t.Fatal("out-of-range index should error")
+	}
+}
+
+func TestReadWriteLocal(t *testing.T) {
+	m := New(4, Options{Seed: 20})
+	if err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", 16) // block 4
+		ctx.Sync()
+		lo := ctx.ID() * 4
+		vals := []int64{1, 2, 3, 4}
+		ctx.WriteLocal(h, lo, vals)
+		got := make([]int64, 4)
+		ctx.ReadLocal(h, lo, got)
+		for i := range vals {
+			if got[i] != vals[i] {
+				panic("ReadLocal did not see WriteLocal")
+			}
+		}
+		ctx.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadLocalForeignPanics(t *testing.T) {
+	m := New(4, Options{Seed: 21})
+	err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", 16)
+		ctx.Sync()
+		if ctx.ID() == 0 {
+			ctx.ReadLocal(h, 8, make([]int64, 2)) // proc 2's block
+		}
+		ctx.Sync()
+	})
+	if err == nil {
+		t.Fatal("foreign ReadLocal should error")
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	m := New(3, Options{Seed: 22})
+	if err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("tmp", 6)
+		ctx.Sync()
+		ctx.Put(h, ctx.ID()*2, []int64{1, 2})
+		ctx.Sync()
+		ctx.Free(h)
+		ctx.Sync()
+		h2 := ctx.Register("tmp", 9) // reuse the name with a new size
+		ctx.Sync()
+		ctx.Put(h2, ctx.ID()*3, []int64{7, 8, 9})
+		ctx.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Array("tmp")); got != 9 {
+		t.Fatalf("reused array length = %d, want 9", got)
+	}
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	m := New(2, Options{Seed: 23})
+	err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("tmp", 4)
+		ctx.Sync()
+		ctx.Free(h)
+		ctx.Sync()
+		ctx.Put(h, 0, []int64{1}) // all procs freed: destroyed
+	})
+	if err == nil {
+		t.Fatal("use after free should error")
+	}
+}
+
+func TestNaiveExchangeStillCorrect(t *testing.T) {
+	m := New(4, Options{Seed: 24, NaiveExchange: true})
+	if err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", 16)
+		ctx.Sync()
+		ctx.Put(h, ((ctx.ID()+1)%4)*4, []int64{9, 9, 9, 9})
+		ctx.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.Array("a") {
+		if v != 9 {
+			t.Fatalf("word %d = %d under naive exchange", i, v)
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	m := New(4, Options{Seed: 30})
+	if err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", 16)
+		ctx.Sync()
+		ctx.Put(h, ((ctx.ID()+1)%4)*4, []int64{1, 2, 3, 4})
+		ctx.Sync()
+		d := make([]int64, 4)
+		ctx.Get(h, 0, d)
+		ctx.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tl := m.Timeline(0)
+	if len(tl) != 3 {
+		t.Fatalf("timeline has %d spans, want 3", len(tl))
+	}
+	if tl[1].PutWords != 4 {
+		t.Errorf("phase 1 put words = %d, want 4", tl[1].PutWords)
+	}
+	if tl[2].GetWords == 0 {
+		t.Errorf("phase 2 get words = 0")
+	}
+	for i, s := range tl {
+		if s.End <= s.Start {
+			t.Errorf("span %d has non-positive duration", i)
+		}
+		if i > 0 && s.Start < tl[i-1].End {
+			t.Errorf("span %d overlaps previous", i)
+		}
+	}
+	if m.Timeline(99) != nil {
+		t.Error("invalid node should yield nil timeline")
+	}
+}

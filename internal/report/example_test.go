@@ -1,0 +1,23 @@
+package report_test
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// ExampleTable renders an aligned ASCII table with a footnote.
+func ExampleTable() {
+	t := report.NewTable("Demo", "n", "cycles")
+	t.AddRow("1,024", report.Cycles(25500))
+	t.AddRow("2,048", report.Cycles(51000))
+	t.AddNote("illustrative only")
+	fmt.Print(t.String())
+	// Output:
+	// == Demo ==
+	// n      cycles
+	// -------------
+	// 1,024  25,500
+	// 2,048  51,000
+	// note: illustrative only
+}

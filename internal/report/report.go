@@ -1,0 +1,136 @@
+// Package report renders experiment results as aligned ASCII tables or CSV,
+// the two formats the benchmark harness and command-line tools emit.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells render empty, extras are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote rendered below the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(cell))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// F formats a float compactly (4 significant digits).
+func F(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// I formats an integer-valued float without a fraction.
+func I(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Cycles formats a cycle count with thousands grouping for readability.
+func Cycles(v float64) string {
+	s := fmt.Sprintf("%.0f", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package sim
+
+// Chan is an unbounded FIFO message queue between simulated processes.
+// Send never blocks; Recv blocks until a value is available. Values sent
+// with a delivery delay become visible to receivers only once the delay
+// elapses, which models network transit time.
+type Chan struct {
+	e       *Engine
+	buf     []interface{}
+	waiters []*Proc
+}
+
+// NewChan creates a channel bound to engine e.
+func (e *Engine) NewChan() *Chan { return &Chan{e: e} }
+
+// Send makes v available to receivers immediately.
+func (c *Chan) Send(v interface{}) { c.deliver(v) }
+
+// SendAfter makes v available to receivers d cycles from now.
+func (c *Chan) SendAfter(d Time, v interface{}) {
+	if d == 0 {
+		c.deliver(v)
+		return
+	}
+	c.e.schedule(c.e.now+d, func() { c.deliver(v) })
+}
+
+func (c *Chan) deliver(v interface{}) {
+	c.buf = append(c.buf, v)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.e.schedule(c.e.now, func() { c.e.runProc(w) })
+	}
+}
+
+// Recv blocks the calling process until a value is available, then removes
+// and returns the oldest value.
+func (c *Chan) Recv(p *Proc) interface{} {
+	p.checkCurrent("Chan.Recv")
+	for len(c.buf) == 0 {
+		c.waiters = append(c.waiters, p)
+		p.block()
+	}
+	v := c.buf[0]
+	c.buf[0] = nil
+	c.buf = c.buf[1:]
+	return v
+}
+
+// TryRecv removes and returns the oldest value without blocking. The second
+// result reports whether a value was available.
+func (c *Chan) TryRecv() (interface{}, bool) {
+	if len(c.buf) == 0 {
+		return nil, false
+	}
+	v := c.buf[0]
+	c.buf[0] = nil
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// Len returns the number of values currently available.
+func (c *Chan) Len() int { return len(c.buf) }

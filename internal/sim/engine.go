@@ -1,0 +1,121 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock measured in processor cycles and
+// executes events in (time, sequence) order. Simulated activities are
+// expressed as processes: ordinary Go functions that run on their own
+// goroutine but are scheduled cooperatively, one at a time, by the engine.
+// A process blocks by calling one of the waiting primitives (Advance, Wait,
+// Recv, Acquire); control then returns to the engine, which resumes the
+// process when the corresponding event fires. Because exactly one process
+// runs at any instant and all ties are broken by sequence number, a
+// simulation with a fixed seed is fully reproducible.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is a point in simulated time, in cycles.
+type Time uint64
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	procs   []*Proc
+	yieldCh chan *Proc
+	current *Proc
+	stopped bool
+	nEvents uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{yieldCh: make(chan *Proc)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.nEvents }
+
+// schedule enqueues fn to run at time t. Ties are broken in schedule order.
+func (e *Engine) schedule(t Time, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (t=%d, now=%d)", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.queue.push(ev)
+	return ev
+}
+
+// At schedules fn to run at absolute time t. It may be called before Run or
+// from within a running process.
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, fn) }
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) { e.schedule(e.now+d, fn) }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// an error if any process panicked or if processes remain blocked when no
+// events are left (a deadlock).
+func (e *Engine) Run() error {
+	for !e.stopped {
+		ev := e.queue.pop()
+		if ev == nil {
+			break
+		}
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.nEvents++
+		ev.fn()
+	}
+	var blocked []string
+	for _, p := range e.procs {
+		if p.err != nil {
+			return fmt.Errorf("sim: process %q failed: %v", p.name, p.err)
+		}
+		if !p.done {
+			blocked = append(blocked, p.name)
+		}
+	}
+	if len(blocked) > 0 && !e.stopped {
+		sort.Strings(blocked)
+		return &DeadlockError{Blocked: blocked, At: e.now}
+	}
+	return nil
+}
+
+// Stop halts the engine after the current event completes. Blocked processes
+// are abandoned; Run returns nil.
+func (e *Engine) Stop() { e.stopped = true }
+
+// DeadlockError reports processes still blocked when the event queue drained.
+type DeadlockError struct {
+	Blocked []string
+	At      Time
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%d: %d process(es) blocked: %v", d.At, len(d.Blocked), d.Blocked)
+}
+
+// runProc transfers control to p until it blocks or finishes. It must only be
+// called from the engine's event loop (directly or via an event closure).
+func (e *Engine) runProc(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.yieldCh
+	e.current = prev
+}

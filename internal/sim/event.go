@@ -1,0 +1,49 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback. Events compare by (at, seq) so that equal
+// times preserve scheduling order, making runs reproducible.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired
+// event is a no-op.
+func (ev *event) Cancel() { ev.cancelled = true }
+
+type eventHeap struct{ evs []*event }
+
+func (h *eventHeap) Len() int { return len(h.evs) }
+func (h *eventHeap) Less(i, j int) bool {
+	a, b := h.evs[i], h.evs[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+func (h *eventHeap) Swap(i, j int)      { h.evs[i], h.evs[j] = h.evs[j], h.evs[i] }
+func (h *eventHeap) Push(x interface{}) { h.evs = append(h.evs, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := h.evs
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	h.evs = old[:n-1]
+	return ev
+}
+
+func (h *eventHeap) push(ev *event) { heap.Push(h, ev) }
+
+func (h *eventHeap) pop() *event {
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(*event)
+		if !ev.cancelled {
+			return ev
+		}
+	}
+	return nil
+}

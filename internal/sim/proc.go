@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Proc is a simulated process: a Go function scheduled cooperatively by the
+// engine. All methods on Proc must be called from within the process's own
+// function; they are not safe to call from outside the simulation.
+type Proc struct {
+	e      *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+	err    error
+	rng    *rand.Rand
+}
+
+// Spawn creates a process named name running fn, starting at the current
+// simulated time. fn receives the Proc as its scheduling handle.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.err = fmt.Errorf("panic: %v", r)
+			}
+			p.done = true
+			e.yieldCh <- p
+		}()
+		fn(p)
+	}()
+	e.schedule(e.now, func() { e.runProc(p) })
+	return p
+}
+
+// SpawnSeeded is Spawn with a process-local deterministic random source,
+// available through Rand.
+func (e *Engine) SpawnSeeded(name string, seed int64, fn func(*Proc)) *Proc {
+	p := e.Spawn(name, fn)
+	p.rng = rand.New(rand.NewSource(seed))
+	return p
+}
+
+// ID returns the process's spawn index.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Rand returns the process-local random source, or nil if the process was
+// created with Spawn rather than SpawnSeeded.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// block yields control to the engine until the process is resumed.
+func (p *Proc) block() {
+	p.e.yieldCh <- p
+	<-p.resume
+}
+
+// Advance suspends the process for d cycles of simulated time.
+func (p *Proc) Advance(d Time) {
+	p.checkCurrent("Advance")
+	p.e.schedule(p.e.now+d, func() { p.e.runProc(p) })
+	p.block()
+}
+
+// Yield suspends the process and reschedules it at the current time, after
+// all events already queued for this instant.
+func (p *Proc) Yield() { p.Advance(0) }
+
+func (p *Proc) checkCurrent(op string) {
+	if p.e.current != p {
+		panic(fmt.Sprintf("sim: %s called on process %q from outside it", op, p.name))
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+// Signal is a broadcast wake-up primitive. Processes block on Wait; Fire
+// wakes every current waiter at the moment it fires. Later waiters block
+// until the next Fire.
+type Signal struct {
+	e       *Engine
+	waiters []*Proc
+}
+
+// NewSignal creates a signal bound to engine e.
+func (e *Engine) NewSignal() *Signal { return &Signal{e: e} }
+
+// Wait blocks the calling process until the signal fires.
+func (s *Signal) Wait(p *Proc) {
+	p.checkCurrent("Signal.Wait")
+	s.waiters = append(s.waiters, p)
+	p.block()
+}
+
+// Fire wakes all processes currently waiting, in the order they began
+// waiting. It may be called from a process or from an event closure.
+func (s *Signal) Fire() {
+	waiters := s.waiters
+	s.waiters = nil
+	for _, w := range waiters {
+		w := w
+		s.e.schedule(s.e.now, func() { s.e.runProc(w) })
+	}
+}
+
+// FireAfter fires the signal d cycles from now. Processes that begin waiting
+// in the meantime are woken too.
+func (s *Signal) FireAfter(d Time) {
+	s.e.schedule(s.e.now+d, func() { s.Fire() })
+}
+
+// Waiting returns the number of processes currently blocked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }

@@ -1,0 +1,87 @@
+package stats
+
+import "math"
+
+// Chernoff tail bounds for sums of independent 0/1 random variables with
+// mean mu. These are the standard multiplicative forms used in the paper's
+// "WHP bound" derivations (TR98-22): for X a sum of independent indicator
+// variables with E[X] = mu,
+//
+//	P[X >= (1+d)mu] <= exp(-d^2 mu / 3)   for 0 < d <= 1
+//	P[X >= (1+d)mu] <= exp(-d   mu / 3)   for d > 1
+//	P[X <= (1-d)mu] <= exp(-d^2 mu / 2)   for 0 < d < 1
+
+// ChernoffUpperTail returns the bound on P[X >= (1+d)mu].
+func ChernoffUpperTail(mu, d float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	if d <= 1 {
+		return math.Exp(-d * d * mu / 3)
+	}
+	return math.Exp(-d * mu / 3)
+}
+
+// ChernoffLowerTail returns the bound on P[X <= (1-d)mu].
+func ChernoffLowerTail(mu, d float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	if d >= 1 {
+		d = 1
+	}
+	return math.Exp(-d * d * mu / 2)
+}
+
+// ChernoffDelta returns the smallest d such that the Chernoff upper-tail
+// bound P[X >= (1+d)mu] is at most eps. With t = 3 ln(1/eps) / mu this is
+// sqrt(t) when sqrt(t) <= 1 and t otherwise.
+func ChernoffDelta(mu, eps float64) float64 {
+	if mu <= 0 {
+		return 0
+	}
+	if eps <= 0 || eps >= 1 {
+		if eps >= 1 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	t := 3 * math.Log(1/eps) / mu
+	if s := math.Sqrt(t); s <= 1 {
+		return s
+	}
+	return t
+}
+
+// ChernoffUpperBound returns a value b = (1+d)mu such that P[X >= b] <= eps.
+func ChernoffUpperBound(mu, eps float64) float64 {
+	return mu * (1 + ChernoffDelta(mu, eps))
+}
+
+// MaxOfBound returns a bound that holds simultaneously for k independent (or
+// arbitrary) variables each with mean mu, via a union bound: each variable is
+// bounded with failure probability eps/k.
+func MaxOfBound(mu, eps float64, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	return ChernoffUpperBound(mu, eps/float64(k))
+}
+
+// BallsInBinsMax bounds, with failure probability at most eps, the maximum
+// number of balls in any of p bins when n balls are thrown independently and
+// uniformly. It is the paper's bound on the largest sample-sort bucket B.
+func BallsInBinsMax(n, p int, eps float64) float64 {
+	if p <= 0 {
+		panic("stats: p must be positive")
+	}
+	mu := float64(n) / float64(p)
+	return MaxOfBound(mu, eps, p)
+}
+
+// GeometricDecay returns x0 * r^i, clamped below at 0; a helper for the list
+// ranking analysis where the expected live set shrinks by a factor 3/4 per
+// iteration.
+func GeometricDecay(x0, r float64, i int) float64 {
+	return x0 * math.Pow(r, float64(i))
+}

@@ -1,0 +1,22 @@
+package stats
+
+import "math/rand"
+
+// NewRand returns a deterministic random source for the given experiment
+// seed and stream index. Distinct streams derived from the same seed are
+// decorrelated by mixing the stream index through SplitMix64.
+func NewRand(seed int64, stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(Mix64(uint64(seed), uint64(stream)))))
+}
+
+// Mix64 mixes two 64-bit values into one using the SplitMix64 finaliser,
+// suitable for deriving independent seeds.
+func Mix64(a, b uint64) uint64 {
+	x := a + 0x9e3779b97f4a7c15*(b+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

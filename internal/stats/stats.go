@@ -1,0 +1,112 @@
+// Package stats provides the small statistical toolkit used throughout the
+// QSM reproduction: summary statistics over repeated runs, Chernoff tail
+// bounds and their inversions (used for the paper's "WHP bound" prediction
+// lines), and deterministic random-source helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics of xs. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// RelStdDev returns the standard deviation as a fraction of the mean, the
+// figure the paper reports ("standard deviation is less than 11% of the
+// average"). It returns 0 for a zero mean.
+func (s Summary) RelStdDev() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / math.Abs(s.Mean)
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g (%.1f%%) min=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, 100*s.RelStdDev(), s.Min, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MaxInt returns the maximum of xs. It panics on an empty slice.
+func MaxInt(xs []int) int {
+	if len(xs) == 0 {
+		panic("stats: empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MinInt returns the minimum of xs. It panics on an empty slice.
+func MinInt(xs []int) int {
+	if len(xs) == 0 {
+		panic("stats: empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

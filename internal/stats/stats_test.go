@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	wantSD := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-wantSD) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", s.StdDev, wantSD)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min,Max = %g,%g, want 2,9", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %g, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.StdDev != 0 || s.Median != 3.5 {
+		t.Errorf("single-element summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Errorf("Median = %g, want 5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestRelStdDev(t *testing.T) {
+	s := Summary{Mean: 100, StdDev: 11}
+	if got := s.RelStdDev(); got != 0.11 {
+		t.Errorf("RelStdDev = %g, want 0.11", got)
+	}
+	if (Summary{}).RelStdDev() != 0 {
+		t.Error("RelStdDev with zero mean should be 0")
+	}
+}
+
+func TestSummarizePropertyBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.Median && s.Median <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestMinMaxInt(t *testing.T) {
+	xs := []int{5, -2, 9, 0}
+	if MaxInt(xs) != 9 || MinInt(xs) != -2 {
+		t.Errorf("MaxInt/MinInt wrong: %d, %d", MaxInt(xs), MinInt(xs))
+	}
+}
+
+func TestChernoffTailMonotone(t *testing.T) {
+	mu := 100.0
+	prev := 1.0
+	for d := 0.1; d <= 3.0; d += 0.1 {
+		b := ChernoffUpperTail(mu, d)
+		if b > prev+1e-12 {
+			t.Fatalf("tail bound not monotone at d=%g: %g > %g", d, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestChernoffTailEdges(t *testing.T) {
+	if ChernoffUpperTail(100, 0) != 1 {
+		t.Error("d=0 should give trivial bound 1")
+	}
+	if ChernoffLowerTail(100, 0) != 1 {
+		t.Error("lower tail d=0 should give 1")
+	}
+	if b := ChernoffLowerTail(100, 2); b != math.Exp(-50) {
+		t.Errorf("lower tail clamps d at 1: got %g", b)
+	}
+}
+
+func TestChernoffDeltaInvertsTail(t *testing.T) {
+	for _, mu := range []float64{1, 10, 100, 1e4, 1e6} {
+		for _, eps := range []float64{0.1, 0.01, 1e-6} {
+			d := ChernoffDelta(mu, eps)
+			if got := ChernoffUpperTail(mu, d); got > eps*(1+1e-9) {
+				t.Errorf("mu=%g eps=%g: tail at delta = %g > eps", mu, eps, got)
+			}
+		}
+	}
+}
+
+func TestChernoffDeltaSmallMuUsesLinearForm(t *testing.T) {
+	// With tiny mu the sqrt form would give d > 1, where the bound shape
+	// changes; the linear form must be used.
+	d := ChernoffDelta(1, 1e-6)
+	if d <= 1 {
+		t.Errorf("expected d > 1 for mu=1, eps=1e-6; got %g", d)
+	}
+	if got := ChernoffUpperTail(1, d); got > 1e-6*(1+1e-9) {
+		t.Errorf("tail %g exceeds eps", got)
+	}
+}
+
+func TestChernoffUpperBoundAboveMean(t *testing.T) {
+	f := func(muRaw, epsRaw uint16) bool {
+		mu := 1 + float64(muRaw)
+		eps := (float64(epsRaw) + 1) / 70000 // in (0, ~0.94)
+		b := ChernoffUpperBound(mu, eps)
+		return b >= mu
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBallsInBinsMaxEmpirical(t *testing.T) {
+	// The bound must hold in at least (1-eps) of random trials.
+	const n, p = 10000, 16
+	const eps = 0.1
+	bound := BallsInBinsMax(n, p, eps)
+	rng := rand.New(rand.NewSource(1))
+	trials, violations := 200, 0
+	for tr := 0; tr < trials; tr++ {
+		var bins [p]int
+		for i := 0; i < n; i++ {
+			bins[rng.Intn(p)]++
+		}
+		max := 0
+		for _, b := range bins {
+			if b > max {
+				max = b
+			}
+		}
+		if float64(max) > bound {
+			violations++
+		}
+	}
+	if frac := float64(violations) / float64(trials); frac > eps {
+		t.Errorf("bound %g violated in %.0f%% of trials (> %.0f%%)", bound, 100*frac, 100*eps)
+	}
+}
+
+func TestGeometricDecay(t *testing.T) {
+	if GeometricDecay(1000, 0.75, 0) != 1000 {
+		t.Error("i=0 should return x0")
+	}
+	if got := GeometricDecay(1000, 0.75, 2); math.Abs(got-562.5) > 1e-9 {
+		t.Errorf("got %g, want 562.5", got)
+	}
+}
+
+func TestNewRandStreamsDiffer(t *testing.T) {
+	a := NewRand(7, 0).Int63()
+	b := NewRand(7, 1).Int63()
+	c := NewRand(7, 0).Int63()
+	if a == b {
+		t.Error("different streams from same seed should differ")
+	}
+	if a != c {
+		t.Error("same seed+stream should reproduce")
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should change many output bits on average.
+	base := Mix64(12345, 678)
+	totalFlips := 0
+	for bit := 0; bit < 64; bit++ {
+		v := Mix64(12345^(1<<uint(bit)), 678)
+		x := base ^ v
+		for x != 0 {
+			totalFlips++
+			x &= x - 1
+		}
+	}
+	if avg := float64(totalFlips) / 64; avg < 24 || avg > 40 {
+		t.Errorf("avalanche average %g bits, want near 32", avg)
+	}
+}

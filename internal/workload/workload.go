@@ -1,0 +1,160 @@
+// Package workload generates the deterministic inputs of the paper's
+// experiments: uniform random keys for sorting, random linked lists for list
+// ranking, and skewed distributions for robustness tests. All generators are
+// pure functions of their seed.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// UniformInts returns n pseudorandom values in [0, bound), or arbitrary
+// int64s if bound <= 0.
+func UniformInts(n int, bound int64, seed int64) []int64 {
+	rng := stats.NewRand(seed, 0)
+	out := make([]int64, n)
+	for i := range out {
+		if bound > 0 {
+			out[i] = rng.Int63n(bound)
+		} else {
+			out[i] = rng.Int63()
+		}
+	}
+	return out
+}
+
+// ZipfInts returns n values drawn from a Zipf distribution with the given
+// skew s > 1 over [0, imax], exercising sort algorithms under heavy
+// duplication.
+func ZipfInts(n int, s float64, imax uint64, seed int64) []int64 {
+	rng := stats.NewRand(seed, 1)
+	z := rand.NewZipf(rng, s, 1, imax)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}
+
+// Partition returns the bounds of processor id's block of an n-element
+// array distributed over p processors: [lo, hi).
+func Partition(n, p, id int) (lo, hi int) {
+	block := (n + p - 1) / p
+	lo = id * block
+	hi = lo + block
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// List is a doubly linked list over elements 0..N-1 in random order.
+type List struct {
+	N    int
+	Head int
+	Tail int
+	Succ []int64 // Succ[i] is i's successor, -1 for the tail
+	Pred []int64 // Pred[i] is i's predecessor, -1 for the head
+}
+
+// RandomList builds a uniformly random list: the list order is a random
+// permutation of 0..n-1, so the neighbours of each element sit on random
+// processors under a blocked distribution — the canonical irregular
+// communication pattern.
+func RandomList(n int, seed int64) *List {
+	if n <= 0 {
+		panic("workload: list size must be positive")
+	}
+	rng := stats.NewRand(seed, 2)
+	order := rng.Perm(n)
+	l := &List{
+		N:    n,
+		Head: order[0],
+		Tail: order[n-1],
+		Succ: make([]int64, n),
+		Pred: make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			l.Succ[order[i]] = int64(order[i+1])
+		} else {
+			l.Succ[order[i]] = -1
+		}
+		if i > 0 {
+			l.Pred[order[i]] = int64(order[i-1])
+		} else {
+			l.Pred[order[i]] = -1
+		}
+	}
+	return l
+}
+
+// Ranks returns the ground-truth rank of every element: the head has rank
+// 0, each successor one more.
+func (l *List) Ranks() []int64 {
+	ranks := make([]int64, l.N)
+	r := int64(0)
+	for i := l.Head; i != -1; i = int(l.Succ[i]) {
+		ranks[i] = r
+		r++
+	}
+	return ranks
+}
+
+// SequentialList builds the worst-case-locality-free list 0 -> 1 -> ... ->
+// n-1, useful in tests.
+func SequentialList(n int) *List {
+	l := &List{N: n, Head: 0, Tail: n - 1, Succ: make([]int64, n), Pred: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		l.Succ[i] = int64(i + 1)
+		l.Pred[i] = int64(i - 1)
+	}
+	l.Succ[n-1] = -1
+	return l
+}
+
+// SortedInts returns 0..n-1 ascending — an adversarial input for random
+// pivot selection.
+func SortedInts(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// ReverseSortedInts returns n-1..0 descending.
+func ReverseSortedInts(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(n - 1 - i)
+	}
+	return out
+}
+
+// NearlySortedInts returns an ascending sequence with a fraction frac of
+// random transpositions applied.
+func NearlySortedInts(n int, frac float64, seed int64) []int64 {
+	out := SortedInts(n)
+	rng := stats.NewRand(seed, 3)
+	swaps := int(frac * float64(n))
+	for s := 0; s < swaps; s++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// ConstantInts returns n copies of v — the degenerate all-duplicates input.
+func ConstantInts(n int, v int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformIntsDeterministicAndBounded(t *testing.T) {
+	a := UniformInts(1000, 100, 7)
+	b := UniformInts(1000, 100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i] < 0 || a[i] >= 100 {
+			t.Fatalf("value %d out of bounds", a[i])
+		}
+	}
+	c := UniformInts(1000, 100, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("different seeds produced %d/1000 equal values", same)
+	}
+}
+
+func TestZipfIntsSkewed(t *testing.T) {
+	vs := ZipfInts(10000, 1.5, 1000, 3)
+	zeros := 0
+	for _, v := range vs {
+		if v == 0 {
+			zeros++
+		}
+		if v < 0 || v > 1000 {
+			t.Fatalf("value %d out of range", v)
+		}
+	}
+	if zeros < 1000 {
+		t.Errorf("zipf(1.5): %d/10000 zeros, want heavy mass at 0", zeros)
+	}
+}
+
+func TestPartitionCoversExactly(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)
+		p := int(pRaw)%16 + 1
+		covered := 0
+		prevHi := 0
+		for id := 0; id < p; id++ {
+			lo, hi := Partition(n, p, id)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomListIsValidList(t *testing.T) {
+	l := RandomList(1000, 5)
+	seen := make([]bool, l.N)
+	count := 0
+	for i := l.Head; i != -1; i = int(l.Succ[i]) {
+		if seen[i] {
+			t.Fatal("cycle in list")
+		}
+		seen[i] = true
+		count++
+	}
+	if count != l.N {
+		t.Fatalf("traversal visited %d of %d", count, l.N)
+	}
+	// Pred is the inverse of Succ.
+	for i := 0; i < l.N; i++ {
+		if s := l.Succ[i]; s != -1 {
+			if l.Pred[s] != int64(i) {
+				t.Fatalf("Pred[%d] = %d, want %d", s, l.Pred[s], i)
+			}
+		}
+	}
+	if l.Pred[l.Head] != -1 || l.Succ[l.Tail] != -1 {
+		t.Error("head/tail sentinels wrong")
+	}
+}
+
+func TestRandomListDeterministic(t *testing.T) {
+	a, b := RandomList(100, 9), RandomList(100, 9)
+	if a.Head != b.Head {
+		t.Fatal("not deterministic")
+	}
+	for i := range a.Succ {
+		if a.Succ[i] != b.Succ[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestRanks(t *testing.T) {
+	l := SequentialList(5)
+	r := l.Ranks()
+	for i, v := range r {
+		if v != int64(i) {
+			t.Fatalf("ranks = %v", r)
+		}
+	}
+	rl := RandomList(500, 11)
+	rr := rl.Ranks()
+	if rr[rl.Head] != 0 || rr[rl.Tail] != int64(rl.N-1) {
+		t.Error("head/tail ranks wrong")
+	}
+	// Ranks are a permutation of 0..n-1.
+	seen := make([]bool, rl.N)
+	for _, v := range rr {
+		if v < 0 || v >= int64(rl.N) || seen[v] {
+			t.Fatal("ranks not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestAdversarialGenerators(t *testing.T) {
+	s := SortedInts(5)
+	for i := range s {
+		if s[i] != int64(i) {
+			t.Fatal("SortedInts wrong")
+		}
+	}
+	r := ReverseSortedInts(5)
+	for i := range r {
+		if r[i] != int64(4-i) {
+			t.Fatal("ReverseSortedInts wrong")
+		}
+	}
+	ns := NearlySortedInts(1000, 0.05, 7)
+	displaced := 0
+	for i, v := range ns {
+		if v != int64(i) {
+			displaced++
+		}
+	}
+	if displaced == 0 || displaced > 250 {
+		t.Errorf("NearlySortedInts displaced %d of 1000", displaced)
+	}
+	for _, v := range ConstantInts(10, 42) {
+		if v != 42 {
+			t.Fatal("ConstantInts wrong")
+		}
+	}
+}
