@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/algorithms"
@@ -29,6 +30,28 @@ func benchExperiment(b *testing.B, id string) {
 		if len(r.Tables) == 0 {
 			b.Fatal("no output")
 		}
+	}
+}
+
+// BenchmarkRunnerParallelism measures the experiment runner's fan-out on a
+// representative sweep (fig2's sample-sort grid) at 1, 2, and 4 workers.
+// On a multicore host the speedup approaches the worker count; output
+// stays byte-identical (see experiments' TestParallelDeterminism).
+func BenchmarkRunnerParallelism(b *testing.B) {
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Run("fig2", experiments.Options{
+					Seed: int64(i + 1), Runs: 2, Quick: true, Parallelism: par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Tables) == 0 {
+					b.Fatal("no output")
+				}
+			}
+		})
 	}
 }
 

@@ -4,28 +4,41 @@
 // Usage:
 //
 //	qsmbench -list
-//	qsmbench -exp fig2 [-runs 10] [-seed 1] [-csv] [-quick]
-//	qsmbench -all
+//	qsmbench -exp fig2 [-runs 10] [-seed 1] [-csv] [-quick] [-parallel 8]
+//	qsmbench -all -json .          # also emit BENCH_<id>.json perf records
+//
+// Independent (sweep-point, run) simulations fan out across -parallel
+// worker goroutines (default GOMAXPROCS); tables are byte-identical to a
+// serial run at the same seed. With -json PATH each experiment's wall time,
+// simulated-event throughput, and allocation counters are recorded to
+// BENCH_<id>.json files under the PATH directory, or to one combined JSON
+// array if PATH ends in .json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
-		runs  = flag.Int("runs", 5, "repetitions per data point (paper uses 10)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp      = flag.String("exp", "", "experiment id to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids")
+		runs     = flag.Int("runs", 5, "repetitions per data point (paper uses 10)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+		jsonOut  = flag.String("json", "", "write BENCH_<id>.json perf records under this directory (or one combined file if it ends in .json)")
 	)
 	flag.Parse()
 
@@ -46,10 +59,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qsmbench: nothing to run; use -exp <id>, -all, or -list")
 		os.Exit(2)
 	}
-	opt := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick}
+	opt := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick, Parallelism: *parallel}
+	effPar := *parallel
+	if effPar <= 0 {
+		effPar = runtime.GOMAXPROCS(0)
+	}
+	var recs []report.BenchRecord
 	for _, id := range ids {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		ev0 := sim.TotalEvents()
 		t0 := time.Now()
 		r, err := experiments.Run(id, opt)
+		wall := time.Since(t0)
+		ev1 := sim.TotalEvents()
+		runtime.ReadMemStats(&m1)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qsmbench: %v\n", err)
 			os.Exit(1)
@@ -61,6 +85,29 @@ func main() {
 		} else {
 			fmt.Print(r)
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(t0).Seconds())
+		rec := report.BenchRecord{
+			ID:          id,
+			Title:       experiments.Title(id),
+			Seed:        *seed,
+			Runs:        *runs,
+			Quick:       *quick,
+			Parallelism: effPar,
+			WallSeconds: wall.Seconds(),
+			SimEvents:   ev1 - ev0,
+			AllocBytes:  m1.TotalAlloc - m0.TotalAlloc,
+			Allocs:      m1.Mallocs - m0.Mallocs,
+		}
+		rec.Finish()
+		recs = append(recs, rec)
+		fmt.Printf("[%s completed in %.1fs, %.2gM sim events, %.3g events/sec]\n\n",
+			id, wall.Seconds(), float64(rec.SimEvents)/1e6, rec.EventsPerSec)
+	}
+	if *jsonOut != "" {
+		files, err := report.WriteBench(*jsonOut, recs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qsmbench: writing bench records: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", strings.Join(files, ", "))
 	}
 }

@@ -118,28 +118,34 @@ func emptySyncCost(net machine.NetParams, p int, seed int64) sim.Time {
 	return m.RunStats().TotalCycles / phases
 }
 
-// Calibrate measures the observed network constants of a configuration. The
-// per-byte gaps are slopes between two transfer sizes, cancelling fixed
+// Calibrate measures the observed network constants of a configuration,
+// fanning the nine independent calibration simulations across par workers.
+// The per-byte gaps are slopes between two transfer sizes, cancelling fixed
 // per-sync costs.
-func Calibrate(net machine.NetParams, seed int64) MachineCalib {
+func Calibrate(net machine.NetParams, seed int64, par int) MachineCalib {
 	const w1, w2 = 20000, 60000
-	slope := func(get bool) float64 {
-		c1 := bulkComm(net, w1, get, seed)
-		c2 := bulkComm(net, w2, get, seed)
-		return float64(c2-c1) / float64(8*(w2-w1))
-	}
 	const s1, s2 = 5000, 15000
-	wordSlope := func(get bool) float64 {
-		c1 := wordComm(net, s1, get, seed)
-		c2 := wordComm(net, s2, get, seed)
-		return float64(c2-c1) / float64(8*(s2-s1))
+	probes := []func() sim.Time{
+		func() sim.Time { return bulkComm(net, w1, false, seed) },
+		func() sim.Time { return bulkComm(net, w2, false, seed) },
+		func() sim.Time { return bulkComm(net, w1, true, seed) },
+		func() sim.Time { return bulkComm(net, w2, true, seed) },
+		func() sim.Time { return wordComm(net, s1, true, seed) },
+		func() sim.Time { return wordComm(net, s2, true, seed) },
+		func() sim.Time { return wordComm(net, s1, false, seed) },
+		func() sim.Time { return wordComm(net, s2, false, seed) },
+		func() sim.Time { return emptySyncCost(net, 16, seed) },
+	}
+	c := parMap(par, len(probes), func(i int) sim.Time { return probes[i]() })
+	slope := func(c1, c2 sim.Time, b1, b2 int) float64 {
+		return float64(c2-c1) / float64(8*(b2-b1))
 	}
 	return MachineCalib{
 		Net:          net,
-		PutGapPB:     slope(false),
-		GetGapPB:     slope(true),
-		GetWordGapPB: wordSlope(true),
-		PutWordGapPB: wordSlope(false),
-		LBarrier:     float64(emptySyncCost(net, 16, seed)),
+		PutGapPB:     slope(c[0], c[1], w1, w2),
+		GetGapPB:     slope(c[2], c[3], w1, w2),
+		GetWordGapPB: slope(c[4], c[5], s1, s2),
+		PutWordGapPB: slope(c[6], c[7], s1, s2),
+		LBarrier:     float64(c[8]),
 	}
 }

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/report"
@@ -22,6 +23,11 @@ type Options struct {
 	Runs int
 	// Quick trims sweeps to a few points for smoke tests.
 	Quick bool
+	// Parallelism is the number of workers the runner fans independent
+	// (sweep-point, run) simulations across. Zero means GOMAXPROCS; 1
+	// forces the serial path. Results are merged in deterministic
+	// (point, run) order, so output is byte-identical at any setting.
+	Parallelism int
 }
 
 func (o Options) runs() int {
@@ -29,6 +35,13 @@ func (o Options) runs() int {
 		return 5
 	}
 	return o.Runs
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result is an experiment's output.

@@ -33,7 +33,7 @@ func TestUnknownID(t *testing.T) {
 }
 
 func TestCalibrationSane(t *testing.T) {
-	mc := Calibrate(machine.DefaultNet(), 1)
+	mc := Calibrate(machine.DefaultNet(), 1, 1)
 	// The observed put gap must sit an order of magnitude above the 3 c/B
 	// hardware gap but below 100 c/B (paper: 35 c/B).
 	if mc.PutGapPB < 10 || mc.PutGapPB > 100 {
@@ -105,9 +105,9 @@ func TestFig2Convergence(t *testing.T) {
 		t.Skip("sweep in -short mode")
 	}
 	net := machine.DefaultNet()
-	mc := Calibrate(net, 1)
+	mc := Calibrate(net, 1, 4)
 	c := mc.Calib(defaultP)
-	sr := runSort(net, 131072, defaultP, 3, 1)
+	sr := runSort(net, 131072, defaultP, 3, 1, 3)
 	est := c.SortQSMComm(131072, oversample, sortSkewOf(sr))
 	ratio := est / sr.Comm
 	if ratio < 0.85 || ratio > 1.15 {
@@ -122,12 +122,12 @@ func TestFig1Flat(t *testing.T) {
 		t.Skip("sweep in -short mode")
 	}
 	net := machine.DefaultNet()
-	small := runPrefix(net, 16384, defaultP, 2, 1)
-	large := runPrefix(net, 1048576, defaultP, 2, 1)
+	small := runPrefix(net, 16384, defaultP, 2, 1, 2)
+	large := runPrefix(net, 1048576, defaultP, 2, 1, 2)
 	if rel := large.Comm / small.Comm; rel > 1.2 || rel < 0.8 {
 		t.Errorf("prefix comm changed %.2fx from 16k to 1M; paper: flat", rel)
 	}
-	mc := Calibrate(net, 1)
+	mc := Calibrate(net, 1, 4)
 	qsm := mc.Calib(defaultP).PrefixQSMComm()
 	if qsm > small.Comm/5 {
 		t.Errorf("QSM prediction %.0f not far below measured %.0f", qsm, small.Comm)

@@ -19,31 +19,49 @@ func init() {
 // library on the same hardware.
 func ext1(opt Options) (*Result, error) {
 	sizes := sweepSizes(opt.Quick, []int{16384, 65536, 262144})
+	runs := opt.runs()
+
+	// One job per (size, run): it executes both the native and the emulated
+	// machine so the pair shares one input array.
+	type sample struct {
+		dTot, dComm, eTot, eComm float64
+		err                      error
+	}
+	per := sweepRuns(opt, len(sizes), runs, func(pt, r int) sample {
+		n := sizes[pt]
+		seed := opt.Seed + int64(r)
+		in := workload.UniformInts(n, 0, seed)
+		alg := algorithms.SampleSort{N: n, Input: blockInput(in, n)}
+
+		direct := qsmlib.New(defaultP, qsmlib.Options{Seed: seed})
+		if err := direct.Run(alg.Program()); err != nil {
+			return sample{err: err}
+		}
+		ds := direct.RunStats()
+
+		emu := bsp.NewQSM(defaultP, bsp.Options{Seed: seed}, core.LayoutBlocked)
+		if err := emu.Run(alg.Program()); err != nil {
+			return sample{err: err}
+		}
+		es := emu.RunStats()
+		return sample{
+			dTot: float64(ds.TotalCycles), dComm: float64(ds.MaxComm()),
+			eTot: float64(es.TotalCycles), eComm: float64(es.MaxComm()),
+		}
+	})
+
 	t := report.NewTable("Extension 1: sample sort, native QSM library vs QSM-on-BSP emulation (p=16; cycles)",
 		"n", "QSM total", "emulated total", "overhead", "QSM comm", "emulated comm")
-	for _, n := range sizes {
+	for i, n := range sizes {
 		var dTot, dComm, eTot, eComm float64
-		runs := opt.runs()
-		for r := 0; r < runs; r++ {
-			seed := opt.Seed + int64(r)
-			in := workload.UniformInts(n, 0, seed)
-			alg := algorithms.SampleSort{N: n, Input: blockInput(in, n)}
-
-			direct := qsmlib.New(defaultP, qsmlib.Options{Seed: seed})
-			if err := direct.Run(alg.Program()); err != nil {
-				return nil, err
+		for _, s := range per[i] {
+			if s.err != nil {
+				return nil, s.err
 			}
-			ds := direct.RunStats()
-			dTot += float64(ds.TotalCycles)
-			dComm += float64(ds.MaxComm())
-
-			emu := bsp.NewQSM(defaultP, bsp.Options{Seed: seed}, core.LayoutBlocked)
-			if err := emu.Run(alg.Program()); err != nil {
-				return nil, err
-			}
-			es := emu.RunStats()
-			eTot += float64(es.TotalCycles)
-			eComm += float64(es.MaxComm())
+			dTot += s.dTot
+			dComm += s.dComm
+			eTot += s.eTot
+			eComm += s.eComm
 		}
 		k := float64(runs)
 		t.AddRow(report.Cycles(float64(n)),

@@ -23,16 +23,25 @@ func ext2(opt Options) (*Result, error) {
 	if opt.Quick {
 		ps = ps[:2]
 	}
+	// One job per machine size; each runs its four collectives on private
+	// machines.
+	type row struct{ qb, lb, qs, ls sim.Time }
+	rows := sweepPoints(opt, len(ps), func(i int) row {
+		p := ps[i]
+		return row{
+			qb: qsmBroadcastCycles(p, opt.Seed),
+			lb: logpCycles(p, opt.Seed, func(pc *logp.Proc) { logp.Broadcast(pc, 0, 42) }),
+			qs: qsmSumCycles(p, opt.Seed),
+			ls: logpCycles(p, opt.Seed, func(pc *logp.Proc) { logp.Sum(pc, 0, int64(pc.ID())) }),
+		}
+	})
 	t := report.NewTable("Extension 2: one-word broadcast and sum, cycles to completion",
 		"p", "QSM broadcast", "LogP broadcast", "ratio", "QSM sum", "LogP sum", "ratio")
-	for _, p := range ps {
-		qb := qsmBroadcastCycles(p, opt.Seed)
-		lb := logpCycles(p, opt.Seed, func(pc *logp.Proc) { logp.Broadcast(pc, 0, 42) })
-		qs := qsmSumCycles(p, opt.Seed)
-		ls := logpCycles(p, opt.Seed, func(pc *logp.Proc) { logp.Sum(pc, 0, int64(pc.ID())) })
+	for i, p := range ps {
+		r := rows[i]
 		t.AddRow(report.I(float64(p)),
-			report.Cycles(float64(qb)), report.Cycles(float64(lb)), report.F(float64(qb)/float64(lb)),
-			report.Cycles(float64(qs)), report.Cycles(float64(ls)), report.F(float64(qs)/float64(ls)))
+			report.Cycles(float64(r.qb)), report.Cycles(float64(r.lb)), report.F(float64(r.qb)/float64(r.lb)),
+			report.Cycles(float64(r.qs)), report.Cycles(float64(r.ls)), report.F(float64(r.qs)/float64(r.ls)))
 	}
 	t.AddNote("LogP trees win by an order of magnitude on one-word collectives; the paper's Section 3 workloads amortise the bulk-synchronous overhead over large phases instead.")
 	return &Result{ID: "ext2", Title: Title("ext2"), Tables: []*report.Table{t}}, nil

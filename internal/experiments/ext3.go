@@ -18,30 +18,47 @@ func init() {
 // geometrically (Theta(n) communication, phases growing with log p).
 func ext3(opt Options) (*Result, error) {
 	sizes := sweepSizes(opt.Quick, []int{8192, 32768, 131072})
+	runs := opt.runs()
+
+	// One job per (size, run): both algorithms rank the same list.
+	type sample struct {
+		wTot, wComm, rTot, rComm float64
+		err                      error
+	}
+	per := sweepRuns(opt, len(sizes), runs, func(pt, r int) sample {
+		n := sizes[pt]
+		seed := opt.Seed + int64(r)
+		l := workload.RandomList(n, seed)
+
+		mw := qsmlib.New(defaultP, qsmlib.Options{Seed: seed})
+		if err := mw.Run(algorithms.WyllieListRank{List: l}.Program()); err != nil {
+			return sample{err: err}
+		}
+		ws := mw.RunStats()
+
+		mr := qsmlib.New(defaultP, qsmlib.Options{Seed: seed})
+		if err := mr.Run(algorithms.ListRank{List: l}.Program()); err != nil {
+			return sample{err: err}
+		}
+		rs := mr.RunStats()
+		return sample{
+			wTot: float64(ws.TotalCycles), wComm: float64(ws.MaxComm()),
+			rTot: float64(rs.TotalCycles), rComm: float64(rs.MaxComm()),
+		}
+	})
+
 	t := report.NewTable("Extension 3: list ranking, Wyllie (PRAM style) vs randomized elimination (QSM style); cycles",
 		"n", "Wyllie total", "Wyllie comm", "randomized total", "randomized comm", "slowdown")
-	for _, n := range sizes {
+	for i, n := range sizes {
 		var wTot, wComm, rTot, rComm float64
-		runs := opt.runs()
-		for r := 0; r < runs; r++ {
-			seed := opt.Seed + int64(r)
-			l := workload.RandomList(n, seed)
-
-			mw := qsmlib.New(defaultP, qsmlib.Options{Seed: seed})
-			if err := mw.Run(algorithms.WyllieListRank{List: l}.Program()); err != nil {
-				return nil, err
+		for _, s := range per[i] {
+			if s.err != nil {
+				return nil, s.err
 			}
-			ws := mw.RunStats()
-			wTot += float64(ws.TotalCycles)
-			wComm += float64(ws.MaxComm())
-
-			mr := qsmlib.New(defaultP, qsmlib.Options{Seed: seed})
-			if err := mr.Run(algorithms.ListRank{List: l}.Program()); err != nil {
-				return nil, err
-			}
-			rs := mr.RunStats()
-			rTot += float64(rs.TotalCycles)
-			rComm += float64(rs.MaxComm())
+			wTot += s.wTot
+			wComm += s.wComm
+			rTot += s.rTot
+			rComm += s.rComm
 		}
 		k := float64(runs)
 		t.AddRow(report.Cycles(float64(n)),

@@ -22,15 +22,24 @@ func init() {
 // factor of g.
 func ext4(opt Options) (*Result, error) {
 	const p = defaultP
-	mc := Calibrate(machine.DefaultNet(), opt.Seed)
+	mc := Calibrate(machine.DefaultNet(), opt.Seed, opt.parallelism())
 	gw := mc.ScatterCalib(p).GWord
+
+	kappas := []int{16, 64, 256, 1024}
+	// One job per kappa point, timing the hot and the spread pattern.
+	type pair struct{ hot, spread float64 }
+	ms := sweepPoints(opt, len(kappas), func(i int) pair {
+		return pair{
+			hot:    contendedRun(p, kappas[i], true, opt.Seed),
+			spread: contendedRun(p, kappas[i], false, opt.Seed),
+		}
+	})
 
 	t := report.NewTable("Extension 4: contention at one owner (p=16; cycles)",
 		"kappa (words at hot owner)", "measured hot", "measured spread", "hot/spread",
 		"QSM charge", "s-QSM charge")
-	for _, kappa := range []int{16, 64, 256, 1024} {
-		hot := contendedRun(p, kappa, true, opt.Seed)
-		spread := contendedRun(p, kappa, false, opt.Seed)
+	for i, kappa := range kappas {
+		hot, spread := ms[i].hot, ms[i].spread
 		// Per-processor m_rw is kappa/p in both runs; the QSM charge for
 		// the access phase is max(g*m_rw, kappa), the s-QSM charge
 		// max(g*m_rw, g*kappa).

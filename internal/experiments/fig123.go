@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/algorithms"
 	"repro/internal/machine"
 	"repro/internal/models"
 	"repro/internal/report"
@@ -31,14 +32,18 @@ func init() {
 
 func fig1(opt Options) (*Result, error) {
 	net := machine.DefaultNet()
-	mc := Calibrate(net, opt.Seed)
+	mc := Calibrate(net, opt.Seed, opt.parallelism())
 	c := mc.Calib(defaultP)
 	sizes := sweepSizes(opt.Quick, []int{4096, 16384, 65536, 262144, 1048576})
 
+	per := sweepRuns(opt, len(sizes), opt.runs(), func(pt, r int) measured {
+		return prefixOnce(net, sizes[pt], defaultP, opt.Seed+int64(r))
+	})
+
 	t := report.NewTable("Figure 1: prefix sums (p=16, g=3, l=1600, o=400; cycles)",
 		"n", "measured total", "measured comm", "QSM pred", "BSP pred", "QSM/measured")
-	for _, n := range sizes {
-		m := runPrefix(net, n, defaultP, opt.runs(), opt.Seed)
+	for i, n := range sizes {
+		m := avgMeasured(per[i])
 		qsm := c.PrefixQSMComm()
 		bsp := c.PrefixBSPComm()
 		t.AddRow(report.Cycles(float64(n)), report.Cycles(m.Total), report.Cycles(m.Comm),
@@ -51,14 +56,18 @@ func fig1(opt Options) (*Result, error) {
 
 func fig2(opt Options) (*Result, error) {
 	net := machine.DefaultNet()
-	mc := Calibrate(net, opt.Seed)
+	mc := Calibrate(net, opt.Seed, opt.parallelism())
 	c := mc.Calib(defaultP)
 	sizes := sweepSizes(opt.Quick, []int{16384, 32768, 65536, 131072, 262144, 524288, 1048576})
 
+	per := sweepRuns(opt, len(sizes), opt.runs(), func(pt, r int) sortRun {
+		return sortOnce(net, sizes[pt], defaultP, opt.Seed+int64(r))
+	})
+
 	t := report.NewTable("Figure 2: sample sort (p=16; communication cycles)",
 		"n", "total", "comm", "Best case", "WHP bound", "QSM est", "BSP est", "est/meas")
-	for _, n := range sizes {
-		sr := runSort(net, n, defaultP, opt.runs(), opt.Seed)
+	for i, n := range sizes {
+		sr := avgSort(per[i])
 		best := c.SortQSMComm(n, oversample, models.SortBestCase(n, defaultP))
 		whp := c.SortQSMComm(n, oversample, models.SortWHP(n, defaultP, oversample, whpEps))
 		meas := models.SortSkews{B: sr.B, R: sr.R, OutW: sr.OutW}
@@ -74,17 +83,22 @@ func fig2(opt Options) (*Result, error) {
 
 func fig3(opt Options) (*Result, error) {
 	net := machine.DefaultNet()
-	mc := Calibrate(net, opt.Seed)
+	mc := Calibrate(net, opt.Seed, opt.parallelism())
 	// List ranking's traffic is scattered single words, so its predictions
 	// are charged at the word-granularity gap.
 	c := mc.ScatterCalib(defaultP)
 	sizes := sweepSizes(opt.Quick, []int{16384, 32768, 65536, 131072, 262144, 524288})
 	iters := 16 // 4*log2(16)
 
+	rankIters := algorithms.Iterations(0, defaultP)
+	per := sweepRuns(opt, len(sizes), opt.runs(), func(pt, r int) rankRun {
+		return rankOnce(net, sizes[pt], defaultP, rankIters, opt.Seed+int64(r))
+	})
+
 	t := report.NewTable("Figure 3: list ranking (p=16; communication cycles)",
 		"n", "total", "comm", "Best case", "WHP bound", "QSM est", "BSP est", "est/meas")
-	for _, n := range sizes {
-		rr := runRank(net, n, defaultP, opt.runs(), opt.Seed)
+	for i, n := range sizes {
+		rr := avgRank(per[i])
 		best := c.RankQSMComm(models.RankBestCase(n, defaultP, iters))
 		whp := c.RankQSMComm(models.RankWHP(n, defaultP, iters, whpEps))
 		est := c.RankQSMComm(models.RankMeasured(rr.X, rr.Z))

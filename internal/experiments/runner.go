@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel experiment runner. Every driver expresses its
+// sweep as independent (sweep-point, run) simulation jobs and submits them
+// through parMap or sweepRuns; a pool of Options.Parallelism workers
+// executes them, each job building its own sim.Engine/qsmlib.Machine, and
+// the results land in an index-addressed slice. Because aggregation then
+// walks that slice in submission order, every averaging and table-building
+// step sees results in exactly the order the serial loop produced them —
+// the rendered tables are byte-identical at any parallelism level.
+
+// parMap runs fn for every index in [0, n) across a pool of par workers and
+// returns the results in index order. fn must be safe to call concurrently
+// and deterministic in its argument; simulator state must be local to the
+// call. A panic in any job is captured and re-raised in the caller after all
+// workers drain, so a failing simulation reports the same way it does
+// serially.
+func parMap[T any](par, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+	return out
+}
+
+// sweepRuns fans the full (point, run) grid of a sweep across the worker
+// pool and returns result[point][run]. This is the widest fan-out: with
+// points*runs jobs in one pool, a slow point cannot leave workers idle the
+// way per-point parallelism would.
+func sweepRuns[T any](opt Options, points, runs int, fn func(point, run int) T) [][]T {
+	flat := parMap(opt.parallelism(), points*runs, func(i int) T {
+		return fn(i/runs, i%runs)
+	})
+	out := make([][]T, points)
+	for p := 0; p < points; p++ {
+		out[p] = flat[p*runs : (p+1)*runs]
+	}
+	return out
+}
+
+// sweepPoints fans one job per sweep point, for drivers whose per-point work
+// is not a plain repetition grid (adaptive scans, multi-machine jobs).
+func sweepPoints[T any](opt Options, points int, fn func(point int) T) []T {
+	return parMap(opt.parallelism(), points, fn)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestParMapOrder(t *testing.T) {
+	for _, par := range []int{1, 2, 7, 32} {
+		got := parMap(par, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("par=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParMapEmpty(t *testing.T) {
+	if got := parMap(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("parMap over 0 items returned %v", got)
+	}
+}
+
+func TestParMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic in a parallel job was swallowed")
+		}
+	}()
+	parMap(4, 16, func(i int) int {
+		if i == 7 {
+			panic("job failure")
+		}
+		return i
+	})
+}
+
+func TestSweepRunsShape(t *testing.T) {
+	opt := Options{Parallelism: 3}
+	got := sweepRuns(opt, 4, 5, func(pt, r int) [2]int { return [2]int{pt, r} })
+	if len(got) != 4 {
+		t.Fatalf("points = %d, want 4", len(got))
+	}
+	for pt := range got {
+		if len(got[pt]) != 5 {
+			t.Fatalf("point %d has %d runs, want 5", pt, len(got[pt]))
+		}
+		for r, v := range got[pt] {
+			if v != [2]int{pt, r} {
+				t.Fatalf("result[%d][%d] = %v", pt, r, v)
+			}
+		}
+	}
+}
+
+func TestParallelismDefault(t *testing.T) {
+	if got := (Options{}).parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default parallelism = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Options{Parallelism: 3}).parallelism(); got != 3 {
+		t.Errorf("explicit parallelism = %d, want 3", got)
+	}
+}
+
+// TestParallelDeterminism is the contract the runner is built around: for
+// every experiment, the serial path and an 8-worker pool must render
+// byte-identical tables at the same seed.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(id, Options{Seed: 1, Runs: 2, Quick: true, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := Run(id, Options{Seed: 1, Runs: 2, Quick: true, Parallelism: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := serial.String(), parallel.String()
+			if a != b {
+				line := 0
+				la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+				for line < len(la) && line < len(lb) && la[line] == lb[line] {
+					line++
+				}
+				t.Errorf("parallel output diverges from serial at line %d:\nserial:   %q\nparallel: %q",
+					line, at(la, line), at(lb, line))
+			}
+		})
+	}
+}
+
+func at(lines []string, i int) string {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return "<eof>"
+}

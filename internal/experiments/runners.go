@@ -9,6 +9,12 @@ import (
 	"repro/internal/workload"
 )
 
+// The measurement helpers here come in two layers: *Once functions run one
+// simulation on a machine the job builds itself (safe to execute on any
+// worker), and run* functions fan the repetitions of one sweep point across
+// the pool and aggregate them in run order, so their averages match the old
+// serial loops bit for bit.
+
 // measured is an averaged simulation measurement, in cycles.
 type measured struct {
 	Total float64 // end-to-end running time
@@ -31,24 +37,28 @@ func blockInput(all []int64, n int) func(id, p int) []int64 {
 	}
 }
 
-// runPrefix measures the prefix-sums program.
-func runPrefix(net machine.NetParams, n, p, runs int, seed int64) measured {
-	var ms []measured
-	for r := 0; r < runs; r++ {
-		s := seed + int64(r)
-		in := workload.UniformInts(n, 1000, s)
-		alg := algorithms.PrefixSums{N: n, Input: blockInput(in, n)}
-		m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: s})
-		if err := m.Run(alg.Program()); err != nil {
-			panic(err)
-		}
-		st := m.RunStats()
-		ms = append(ms, measured{Total: float64(st.TotalCycles), Comm: float64(st.MaxComm())})
+// prefixOnce runs the prefix-sums program once on its own machine.
+func prefixOnce(net machine.NetParams, n, p int, seed int64) measured {
+	in := workload.UniformInts(n, 1000, seed)
+	alg := algorithms.PrefixSums{N: n, Input: blockInput(in, n)}
+	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed})
+	if err := m.Run(alg.Program()); err != nil {
+		panic(err)
 	}
-	return avgMeasured(ms)
+	st := m.RunStats()
+	return measured{Total: float64(st.TotalCycles), Comm: float64(st.MaxComm())}
 }
 
-// sortRun is one sample-sort measurement with its observed skews.
+// runPrefix measures the prefix-sums program, fanning runs across par
+// workers.
+func runPrefix(net machine.NetParams, n, p, runs int, seed int64, par int) measured {
+	return avgMeasured(parMap(par, runs, func(r int) measured {
+		return prefixOnce(net, n, p, seed+int64(r))
+	}))
+}
+
+// sortRun is a sample-sort measurement with its observed skews: one run's
+// values, or the run-order average of several.
 type sortRun struct {
 	measured
 	B    float64
@@ -56,27 +66,43 @@ type sortRun struct {
 	OutW float64
 }
 
-// runSort measures the sample-sort program, returning the run average and
-// the average observed skews.
-func runSort(net machine.NetParams, n, p, runs int, seed int64) sortRun {
+// sortOnce runs the sample-sort program once on its own machine.
+func sortOnce(net machine.NetParams, n, p int, seed int64) sortRun {
+	in := workload.UniformInts(n, 0, seed)
+	skew := algorithms.NewSortSkew(p)
+	alg := algorithms.SampleSort{N: n, Input: blockInput(in, n), Skew: skew}
+	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed})
+	if err := m.Run(alg.Program()); err != nil {
+		panic(err)
+	}
+	st := m.RunStats()
+	return sortRun{
+		measured: measured{Total: float64(st.TotalCycles), Comm: float64(st.MaxComm())},
+		B:        float64(skew.B()),
+		R:        skew.R(),
+		OutW:     float64(skew.OutW()),
+	}
+}
+
+// avgSort averages per-run samples in run order.
+func avgSort(ss []sortRun) sortRun {
 	var ms []measured
 	var bs, rs, ows []float64
-	for r := 0; r < runs; r++ {
-		s := seed + int64(r)
-		in := workload.UniformInts(n, 0, s)
-		skew := algorithms.NewSortSkew(p)
-		alg := algorithms.SampleSort{N: n, Input: blockInput(in, n), Skew: skew}
-		m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: s})
-		if err := m.Run(alg.Program()); err != nil {
-			panic(err)
-		}
-		st := m.RunStats()
-		ms = append(ms, measured{Total: float64(st.TotalCycles), Comm: float64(st.MaxComm())})
-		bs = append(bs, float64(skew.B()))
-		rs = append(rs, skew.R())
-		ows = append(ows, float64(skew.OutW()))
+	for _, s := range ss {
+		ms = append(ms, s.measured)
+		bs = append(bs, s.B)
+		rs = append(rs, s.R)
+		ows = append(ows, s.OutW)
 	}
 	return sortRun{measured: avgMeasured(ms), B: stats.Mean(bs), R: stats.Mean(rs), OutW: stats.Mean(ows)}
+}
+
+// runSort measures the sample-sort program, fanning runs across par workers,
+// returning the run average and the average observed skews.
+func runSort(net machine.NetParams, n, p, runs int, seed int64, par int) sortRun {
+	return avgSort(parMap(par, runs, func(r int) sortRun {
+		return sortOnce(net, n, p, seed+int64(r))
+	}))
 }
 
 // sortSkewOf converts a measurement's averaged skews into model inputs.
@@ -84,37 +110,55 @@ func sortSkewOf(sr sortRun) models.SortSkews {
 	return models.SortSkews{B: sr.B, R: sr.R, OutW: sr.OutW}
 }
 
-// rankRun is one list-ranking measurement with its observed compression.
+// rankRun is a list-ranking measurement with its observed compression: one
+// run's values, or the run-order average of several.
 type rankRun struct {
 	measured
 	X []float64 // per-iteration max active counts, averaged over runs
 	Z float64
 }
 
-// runRank measures the list-ranking program.
-func runRank(net machine.NetParams, n, p, runs int, seed int64) rankRun {
-	iters := algorithms.Iterations(0, p)
+// rankOnce runs the list-ranking program once on its own machine.
+func rankOnce(net machine.NetParams, n, p, iters int, seed int64) rankRun {
+	l := workload.RandomList(n, seed)
+	tr := algorithms.NewRankTrace(p, iters)
+	alg := algorithms.ListRank{List: l, Trace: tr}
+	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed})
+	if err := m.Run(alg.Program()); err != nil {
+		panic(err)
+	}
+	st := m.RunStats()
+	return rankRun{
+		measured: measured{Total: float64(st.TotalCycles), Comm: float64(st.MaxComm())},
+		X:        tr.X(),
+		Z:        tr.Z(),
+	}
+}
+
+// avgRank averages per-run samples in run order.
+func avgRank(ss []rankRun) rankRun {
+	iters := len(ss[0].X)
 	xs := make([]float64, iters)
 	var zs []float64
 	var ms []measured
-	for r := 0; r < runs; r++ {
-		s := seed + int64(r)
-		l := workload.RandomList(n, s)
-		tr := algorithms.NewRankTrace(p, iters)
-		alg := algorithms.ListRank{List: l, Trace: tr}
-		m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: s})
-		if err := m.Run(alg.Program()); err != nil {
-			panic(err)
-		}
-		st := m.RunStats()
-		ms = append(ms, measured{Total: float64(st.TotalCycles), Comm: float64(st.MaxComm())})
-		for i, x := range tr.X() {
+	for _, s := range ss {
+		ms = append(ms, s.measured)
+		for i, x := range s.X {
 			xs[i] += x
 		}
-		zs = append(zs, tr.Z())
+		zs = append(zs, s.Z)
 	}
 	for i := range xs {
-		xs[i] /= float64(runs)
+		xs[i] /= float64(len(ss))
 	}
 	return rankRun{measured: avgMeasured(ms), X: xs, Z: stats.Mean(zs)}
+}
+
+// runRank measures the list-ranking program, fanning runs across par
+// workers.
+func runRank(net machine.NetParams, n, p, runs int, seed int64, par int) rankRun {
+	iters := algorithms.Iterations(0, p)
+	return avgRank(parMap(par, runs, func(r int) rankRun {
+		return rankOnce(net, n, p, iters, seed+int64(r))
+	}))
 }

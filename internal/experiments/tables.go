@@ -44,11 +44,15 @@ func table2(opt Options) (*Result, error) {
 		{"flip-gen(50k)", cpu.BlockFlipGenerate(50000)},
 		{"compact(50k)", cpu.BlockCompact(50000)},
 	}
-	for _, k := range kernels {
+	// Each kernel's trace-driven run builds its own detailed core, so the
+	// validations fan across the pool.
+	type pair struct{ ca, cd float64 }
+	vs := sweepPoints(opt, len(kernels), func(i int) pair {
 		det := cpu.NewDetailedModel(p, 200000, opt.Seed+1)
-		ca := float64(an.Cycles(k.b))
-		cd := float64(det.Cycles(k.b))
-		val.AddRow(k.name, report.Cycles(ca), report.Cycles(cd), report.F(cd/ca))
+		return pair{float64(an.Cycles(kernels[i].b)), float64(det.Cycles(kernels[i].b))}
+	})
+	for i, k := range kernels {
+		val.AddRow(k.name, report.Cycles(vs[i].ca), report.Cycles(vs[i].cd), report.F(vs[i].cd/vs[i].ca))
 	}
 	val.AddNote("experiment sweeps use the analytic model; the detailed trace-driven core bounds its error.")
 	return &Result{ID: "table2", Title: Title("table2"), Tables: []*report.Table{cfg, val}}, nil
@@ -56,7 +60,7 @@ func table2(opt Options) (*Result, error) {
 
 func table3(opt Options) (*Result, error) {
 	net := machine.DefaultNet()
-	mc := Calibrate(net, opt.Seed)
+	mc := Calibrate(net, opt.Seed, opt.parallelism())
 	t := report.NewTable("Table 3: raw hardware vs observed (hardware + software) network performance",
 		"parameter", "hardware setting", "observed (HW+SW)")
 	t.AddRow("gap g (bandwidth)", "3 cycles/byte (133 MB/s)",
@@ -103,15 +107,16 @@ func table4(opt Options) (*Result, error) {
 	def := archs[0]
 	kCal := 8000 / (nMin(def) / float64(def.p))
 
+	vals := sweepPoints(opt, len(archs), func(i int) float64 {
+		return kCal * nMin(archs[i]) / float64(archs[i].p)
+	})
 	t := report.NewTable("Table 4: predicted minimum problem size for accurate QSM prediction (sample sort)",
 		"architecture", "p", "l", "o", "g (c/B)", "n_min/p (ours)", "n_min/p (paper)")
-	for _, a := range archs {
-		v := kCal * nMin(a) / float64(a.p)
+	for i, a := range archs {
 		t.AddRow(a.name, report.I(float64(a.p)), report.I(a.l), report.I(a.o),
-			report.F(a.gPerByte), report.Cycles(math.Round(v)), a.paperVal)
+			report.F(a.gPerByte), report.Cycles(math.Round(vals[i])), a.paperVal)
 	}
 	t.AddNote("ours is normalised to the default row; the paper's k absorbs per-architecture software costs, so compare orderings and magnitudes, not exact values.")
-	_ = opt
 	return &Result{ID: "table4", Title: Title("table4"), Tables: []*report.Table{t}}, nil
 }
 
@@ -120,11 +125,17 @@ func fig7(opt Options) (*Result, error) {
 	if opt.Quick {
 		accesses = 150
 	}
+	cfgs := membank.AllConfigs()
+	// One job per architecture; each runs its three access patterns on its
+	// own simulated memory system.
+	results := sweepPoints(opt, len(cfgs), func(i int) []membank.Result {
+		return membank.RunAll(cfgs[i], accesses, opt.Seed)
+	})
 	t := report.NewTable("Figure 7: remote memory access time under load (us per access)",
 		"architecture", "Random", "Conflict", "NoConflict", "Conflict/NoConflict", "Random/NoConflict")
-	for _, cfg := range membank.AllConfigs() {
+	for i, cfg := range cfgs {
 		var rnd, cf, nc membank.Result
-		for _, r := range membank.RunAll(cfg, accesses, opt.Seed) {
+		for _, r := range results[i] {
 			switch r.Pattern {
 			case membank.Random:
 				rnd = r

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchRecordFinish(t *testing.T) {
+	r := BenchRecord{SimEvents: 1000, WallSeconds: 2}
+	r.Finish()
+	if r.EventsPerSec != 500 {
+		t.Errorf("EventsPerSec = %g, want 500", r.EventsPerSec)
+	}
+	z := BenchRecord{SimEvents: 10}
+	z.Finish()
+	if z.EventsPerSec != 0 {
+		t.Errorf("zero wall time should leave rate 0, got %g", z.EventsPerSec)
+	}
+}
+
+func TestWriteBenchPerExperiment(t *testing.T) {
+	dir := t.TempDir()
+	recs := []BenchRecord{
+		{ID: "fig1", Seed: 1, SimEvents: 100, WallSeconds: 0.5},
+		{ID: "ext2", Seed: 1, SimEvents: 50, WallSeconds: 0.25},
+	}
+	files, err := WriteBench(dir, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("wrote %d files, want 2", len(files))
+	}
+	want := filepath.Join(dir, "BENCH_fig1.json")
+	if files[0] != want {
+		t.Errorf("file = %s, want %s", files[0], want)
+	}
+	data, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BenchRecord
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "fig1" || got.SimEvents != 100 {
+		t.Errorf("round-trip = %+v", got)
+	}
+}
+
+func TestWriteBenchCombined(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	recs := []BenchRecord{{ID: "fig1"}, {ID: "fig2"}}
+	files, err := WriteBench(path, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0] != path {
+		t.Fatalf("files = %v, want [%s]", files, path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []BenchRecord
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].ID != "fig2" {
+		t.Errorf("round-trip = %+v", got)
+	}
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkEngineEventsPerSec drives the canonical hot path — a process
+// advancing the clock one cycle per event — and reports allocations, which
+// the event free list and closure-free resume are meant to hold near zero
+// at steady state.
+func BenchmarkEngineEventsPerSec(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineManyProcsMixed exercises the 4-ary heap with 64 processes
+// at staggered periods, the shape the multiprocessor simulation produces.
+func BenchmarkEngineManyProcsMixed(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	const procs = 64
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		d := Time(1 + i%7)
+		e.Spawn("p", func(p *Proc) {
+			for j := 0; j < per; j++ {
+				p.Advance(d)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChanSendRecv measures a send/recv ping through the ring-buffered
+// channel; steady state must not grow the ring or the backing array.
+func BenchmarkChanSendRecv(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	c := e.NewChan()
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Recv(p)
+		}
+	})
+	e.Spawn("send", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+			c.Send(i)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestChanRingReusesBuffer verifies the satellite fix for the old
+// buf = buf[1:] retention bug: a channel cycled through many send/recv
+// pairs must keep a small constant-size ring, not a backing array that
+// grew with the number of messages ever sent.
+func TestChanRingReusesBuffer(t *testing.T) {
+	e := NewEngine()
+	c := e.NewChan()
+	e.Spawn("pump", func(p *Proc) {
+		for i := 0; i < 10000; i++ {
+			c.Send(i)
+			if v, ok := c.TryRecv(); !ok || v.(int) != i {
+				t.Errorf("TryRecv = %v,%v at %d", v, ok, i)
+				return
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.buf) > 8 {
+		t.Errorf("ring capacity = %d after 10000 send/recv pairs, want <= 8", len(c.buf))
+	}
+}
+
+// TestChanRingWrapOrder fills across a wrap boundary and checks FIFO order
+// survives growth mid-stream.
+func TestChanRingWrapOrder(t *testing.T) {
+	e := NewEngine()
+	c := e.NewChan()
+	e.Spawn("pump", func(p *Proc) {
+		next := 0 // next value expected out
+		sent := 0
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 3+round%5; i++ {
+				c.Send(sent)
+				sent++
+			}
+			for i := 0; i < 2+round%4 && c.Len() > 0; i++ {
+				v, _ := c.TryRecv()
+				if v.(int) != next {
+					t.Errorf("got %v, want %d", v, next)
+					return
+				}
+				next++
+			}
+		}
+		for c.Len() > 0 {
+			v, _ := c.TryRecv()
+			if v.(int) != next {
+				t.Errorf("drain got %v, want %d", v, next)
+				return
+			}
+			next++
+		}
+		if next != sent {
+			t.Errorf("drained %d values, sent %d", next, sent)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventFreeListReuse checks that sequential events recycle one struct
+// instead of allocating per event.
+func TestEventFreeListReuse(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("ran %d events, want 1000", n)
+	}
+	// Only one event is ever outstanding, so the free list holds one struct.
+	if len(e.free) > 2 {
+		t.Errorf("free list holds %d events, want <= 2", len(e.free))
+	}
+}
+
+// TestHeapOrderProperty pushes events with random times and checks popMin
+// yields nondecreasing (at, seq) order — the invariant the engine's
+// determinism rests on.
+func TestHeapOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h eventHeap
+	const n = 2000
+	for seq := 0; seq < n; seq++ {
+		h.push(&event{at: Time(rng.Intn(97)), seq: uint64(seq)})
+	}
+	var prev *event
+	for i := 0; i < n; i++ {
+		ev := h.popMin()
+		if ev == nil {
+			t.Fatalf("heap empty after %d pops, want %d", i, n)
+		}
+		if prev != nil && eventLess(ev, prev) {
+			t.Fatalf("pop %d out of order: (%d,%d) after (%d,%d)",
+				i, ev.at, ev.seq, prev.at, prev.seq)
+		}
+		prev = ev
+	}
+	if h.popMin() != nil {
+		t.Error("heap not empty after draining")
+	}
+}
+
+// TestCancelledEventsRecycled ensures cancelled events are skipped and
+// returned to the free list rather than firing or leaking.
+func TestCancelledEventsRecycled(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		ev := e.schedule(Time(i+1), func() { fired++ })
+		if i%2 == 1 {
+			ev.Cancel()
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5 {
+		t.Errorf("fired %d events, want 5", fired)
+	}
+	if len(e.free) != 10 {
+		t.Errorf("free list holds %d events, want all 10", len(e.free))
+	}
+}

@@ -4,9 +4,16 @@ package sim
 // Send never blocks; Recv blocks until a value is available. Values sent
 // with a delivery delay become visible to receivers only once the delay
 // elapses, which models network transit time.
+//
+// The buffer is a head/tail ring: removing the oldest value advances an
+// index instead of reslicing, so a long-lived channel reuses one
+// backing array at steady state rather than crawling down an ever-growing
+// one and retaining everything behind the read point.
 type Chan struct {
 	e       *Engine
-	buf     []interface{}
+	buf     []interface{} // ring storage; len(buf) is the capacity
+	head    int           // index of the oldest value
+	count   int           // number of buffered values
 	waiters []*Proc
 }
 
@@ -26,39 +33,60 @@ func (c *Chan) SendAfter(d Time, v interface{}) {
 }
 
 func (c *Chan) deliver(v interface{}) {
-	c.buf = append(c.buf, v)
+	if c.count == len(c.buf) {
+		c.grow()
+	}
+	c.buf[(c.head+c.count)%len(c.buf)] = v
+	c.count++
 	if len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
-		c.e.schedule(c.e.now, func() { c.e.runProc(w) })
+		c.e.scheduleProc(c.e.now, w)
 	}
+}
+
+// grow doubles the ring, unwrapping the values to the front.
+func (c *Chan) grow() {
+	capc := 2 * len(c.buf)
+	if capc < 8 {
+		capc = 8
+	}
+	nb := make([]interface{}, capc)
+	for i := 0; i < c.count; i++ {
+		nb[i] = c.buf[(c.head+i)%len(c.buf)]
+	}
+	c.buf = nb
+	c.head = 0
+}
+
+// take removes and returns the oldest buffered value. count must be > 0.
+func (c *Chan) take() interface{} {
+	v := c.buf[c.head]
+	c.buf[c.head] = nil
+	c.head = (c.head + 1) % len(c.buf)
+	c.count--
+	return v
 }
 
 // Recv blocks the calling process until a value is available, then removes
 // and returns the oldest value.
 func (c *Chan) Recv(p *Proc) interface{} {
 	p.checkCurrent("Chan.Recv")
-	for len(c.buf) == 0 {
+	for c.count == 0 {
 		c.waiters = append(c.waiters, p)
 		p.block()
 	}
-	v := c.buf[0]
-	c.buf[0] = nil
-	c.buf = c.buf[1:]
-	return v
+	return c.take()
 }
 
 // TryRecv removes and returns the oldest value without blocking. The second
 // result reports whether a value was available.
 func (c *Chan) TryRecv() (interface{}, bool) {
-	if len(c.buf) == 0 {
+	if c.count == 0 {
 		return nil, false
 	}
-	v := c.buf[0]
-	c.buf[0] = nil
-	c.buf = c.buf[1:]
-	return v, true
+	return c.take(), true
 }
 
 // Len returns the number of values currently available.
-func (c *Chan) Len() int { return len(c.buf) }
+func (c *Chan) Len() int { return c.count }

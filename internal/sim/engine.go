@@ -9,15 +9,28 @@
 // process when the corresponding event fires. Because exactly one process
 // runs at any instant and all ties are broken by sequence number, a
 // simulation with a fixed seed is fully reproducible.
+//
+// Engines are single-threaded and carry no shared state, so independent
+// engines may run concurrently on separate goroutines; the experiment
+// runner exploits this to fan simulations across cores.
 package sim
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Time is a point in simulated time, in cycles.
 type Time uint64
+
+// totalEvents counts events executed by every engine in the process, for
+// whole-program throughput reporting (events/sec) across parallel workers.
+var totalEvents atomic.Uint64
+
+// TotalEvents returns the number of events executed by all engines since
+// process start. Engines publish their counts when Run returns.
+func TotalEvents() uint64 { return totalEvents.Load() }
 
 // Engine is a deterministic discrete-event simulator. The zero value is not
 // usable; create engines with NewEngine.
@@ -25,6 +38,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	queue   eventHeap
+	free    []*event // recycled event structs, refilled as events fire
 	procs   []*Proc
 	yieldCh chan *Proc
 	current *Proc
@@ -43,13 +57,44 @@ func (e *Engine) Now() Time { return e.now }
 // Events returns the number of events executed so far.
 func (e *Engine) Events() uint64 { return e.nEvents }
 
-// schedule enqueues fn to run at time t. Ties are broken in schedule order.
-func (e *Engine) schedule(t Time, fn func()) *event {
+// newEvent takes a struct off the free list or allocates one.
+func (e *Engine) newEvent(t Time) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past (t=%d, now=%d)", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{at: t, seq: e.seq}
+	} else {
+		ev = &event{at: t, seq: e.seq}
+	}
 	e.seq++
+	return ev
+}
+
+// recycle returns a fired or cancelled event to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.proc = nil
+	e.free = append(e.free, ev)
+}
+
+// schedule enqueues fn to run at time t. Ties are broken in schedule order.
+func (e *Engine) schedule(t Time, fn func()) *event {
+	ev := e.newEvent(t)
+	ev.fn = fn
+	e.queue.push(ev)
+	return ev
+}
+
+// scheduleProc enqueues a resume of p at time t without allocating a
+// closure — the hot path behind Advance and every wake-up primitive.
+func (e *Engine) scheduleProc(t Time, p *Proc) *event {
+	ev := e.newEvent(t)
+	ev.proc = p
 	e.queue.push(ev)
 	return ev
 }
@@ -61,21 +106,39 @@ func (e *Engine) At(t Time, fn func()) { e.schedule(t, fn) }
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn func()) { e.schedule(e.now+d, fn) }
 
+// popEvent removes and returns the next live event, recycling any cancelled
+// ones it skips. It returns nil when the queue is empty.
+func (e *Engine) popEvent() *event {
+	for {
+		ev := e.queue.popMin()
+		if ev == nil || !ev.cancelled {
+			return ev
+		}
+		e.recycle(ev)
+	}
+}
+
 // Run executes events until the queue is empty or Stop is called. It returns
 // an error if any process panicked or if processes remain blocked when no
 // events are left (a deadlock).
 func (e *Engine) Run() error {
+	start := e.nEvents
+	defer func() { totalEvents.Add(e.nEvents - start) }()
 	for !e.stopped {
-		ev := e.queue.pop()
+		ev := e.popEvent()
 		if ev == nil {
 			break
 		}
-		if ev.cancelled {
-			continue
-		}
 		e.now = ev.at
 		e.nEvents++
-		ev.fn()
+		if p := ev.proc; p != nil {
+			e.recycle(ev)
+			e.runProc(p)
+		} else {
+			fn := ev.fn
+			e.recycle(ev)
+			fn()
+		}
 	}
 	var blocked []string
 	for _, p := range e.procs {

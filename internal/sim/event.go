@@ -1,13 +1,18 @@
 package sim
 
-import "container/heap"
-
 // event is a scheduled callback. Events compare by (at, seq) so that equal
-// times preserve scheduling order, making runs reproducible.
+// times preserve scheduling order, making runs reproducible. Fired events are
+// recycled through the engine's free list, so a caller must not retain an
+// *event past its firing time; Cancel on a still-pending event is fine.
+//
+// The common case — resuming a blocked process — carries the *Proc directly
+// in proc instead of wrapping it in a closure, so the per-event closure
+// allocation disappears from the engine's hot path.
 type event struct {
 	at        Time
 	seq       uint64
 	fn        func()
+	proc      *Proc
 	cancelled bool
 }
 
@@ -15,35 +20,71 @@ type event struct {
 // event is a no-op.
 func (ev *event) Cancel() { ev.cancelled = true }
 
+// eventHeap is a concrete 4-ary min-heap ordered by (at, seq). The wide node
+// halves the tree depth of the binary heap it replaced, and the monomorphic
+// methods avoid container/heap's interface boxing on every push and pop.
 type eventHeap struct{ evs []*event }
 
 func (h *eventHeap) Len() int { return len(h.evs) }
-func (h *eventHeap) Less(i, j int) bool {
-	a, b := h.evs[i], h.evs[j]
+
+func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
-func (h *eventHeap) Swap(i, j int)      { h.evs[i], h.evs[j] = h.evs[j], h.evs[i] }
-func (h *eventHeap) Push(x interface{}) { h.evs = append(h.evs, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := h.evs
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	h.evs = old[:n-1]
-	return ev
+
+// push inserts ev, sifting it up to its (at, seq) position.
+func (h *eventHeap) push(ev *event) {
+	h.evs = append(h.evs, ev)
+	i := len(h.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(h.evs[i], h.evs[parent]) {
+			break
+		}
+		h.evs[i], h.evs[parent] = h.evs[parent], h.evs[i]
+		i = parent
+	}
 }
 
-func (h *eventHeap) push(ev *event) { heap.Push(h, ev) }
-
-func (h *eventHeap) pop() *event {
-	for h.Len() > 0 {
-		ev := heap.Pop(h).(*event)
-		if !ev.cancelled {
-			return ev
-		}
+// popMin removes and returns the earliest event (cancelled or not), or nil if
+// the heap is empty. Skipping cancelled events is the engine's job, which
+// also recycles them.
+func (h *eventHeap) popMin() *event {
+	n := len(h.evs)
+	if n == 0 {
+		return nil
 	}
-	return nil
+	min := h.evs[0]
+	last := h.evs[n-1]
+	h.evs[n-1] = nil
+	h.evs = h.evs[:n-1]
+	if n--; n > 0 {
+		// Sift last down from the root's hole.
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= n {
+				break
+			}
+			best := first
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if eventLess(h.evs[c], h.evs[best]) {
+					best = c
+				}
+			}
+			if !eventLess(h.evs[best], last) {
+				break
+			}
+			h.evs[i] = h.evs[best]
+			i = best
+		}
+		h.evs[i] = last
+	}
+	return min
 }

@@ -39,7 +39,7 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.schedule(e.now, func() { e.runProc(p) })
+	e.scheduleProc(e.now, p)
 	return p
 }
 
@@ -79,7 +79,7 @@ func (p *Proc) block() {
 // Advance suspends the process for d cycles of simulated time.
 func (p *Proc) Advance(d Time) {
 	p.checkCurrent("Advance")
-	p.e.schedule(p.e.now+d, func() { p.e.runProc(p) })
+	p.e.scheduleProc(p.e.now+d, p)
 	p.block()
 }
 

@@ -85,7 +85,7 @@ func (g *Gate) Release() {
 	if len(g.waiters) > 0 {
 		w := g.waiters[0]
 		g.waiters = g.waiters[1:]
-		g.e.schedule(g.e.now, func() { g.e.runProc(w) })
+		g.e.scheduleProc(g.e.now, w)
 	}
 }
 

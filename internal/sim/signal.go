@@ -24,8 +24,7 @@ func (s *Signal) Fire() {
 	waiters := s.waiters
 	s.waiters = nil
 	for _, w := range waiters {
-		w := w
-		s.e.schedule(s.e.now, func() { s.e.runProc(w) })
+		s.e.scheduleProc(s.e.now, w)
 	}
 }
 
