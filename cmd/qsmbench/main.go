@@ -13,17 +13,27 @@
 // simulated-event throughput, and allocation counters are recorded to
 // BENCH_<id>.json files under the PATH directory, or to one combined JSON
 // array if PATH ends in .json.
+//
+// Observability (internal/obs): -metrics aggregates each experiment's
+// counters and histograms into METRICS_<id>.json (next to the BENCH records,
+// or the current directory without -json); -trace DIR additionally collects
+// sim-time spans and writes TRACE_<id>.json Chrome trace files under DIR,
+// loadable in Perfetto. -progress logs per-sweep-point completion to stderr
+// without perturbing the deterministic result tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -39,6 +49,9 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel = flag.Int("parallel", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 		jsonOut  = flag.String("json", "", "write BENCH_<id>.json perf records under this directory (or one combined file if it ends in .json)")
+		metrics  = flag.Bool("metrics", false, "collect metrics and write METRICS_<id>.json per experiment")
+		traceDir = flag.String("trace", "", "collect sim-time spans and write TRACE_<id>.json Chrome trace files under this directory")
+		progress = flag.Bool("progress", false, "log per-sweep-point completion to stderr")
 	)
 	flag.Parse()
 
@@ -59,13 +72,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qsmbench: nothing to run; use -exp <id>, -all, or -list")
 		os.Exit(2)
 	}
-	opt := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick, Parallelism: *parallel}
 	effPar := *parallel
 	if effPar <= 0 {
 		effPar = runtime.GOMAXPROCS(0)
 	}
+	// METRICS files land next to the BENCH records (or in the current
+	// directory); TRACE files go under their own directory since they can be
+	// large.
+	metricsDir := "."
+	if *jsonOut != "" {
+		if strings.HasSuffix(*jsonOut, ".json") {
+			metricsDir = filepath.Dir(*jsonOut)
+		} else {
+			metricsDir = *jsonOut
+		}
+	}
 	var recs []report.BenchRecord
 	for _, id := range ids {
+		opt := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick, Parallelism: *parallel}
+		var sink *obs.Sink
+		if *metrics || *traceDir != "" {
+			sink = obs.NewSink(obs.Config{Metrics: *metrics, Trace: *traceDir != ""})
+			opt.Obs = sink
+		}
+		if *progress {
+			opt.Progress = progressLogger(id)
+		}
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		ev0 := sim.TotalEvents()
@@ -84,6 +116,25 @@ func main() {
 			}
 		} else {
 			fmt.Print(r)
+		}
+		if sink != nil {
+			merged := sink.Merged()
+			if *metrics {
+				f, err := report.WriteMetrics(metricsDir, id, merged)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "qsmbench: writing metrics: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", f)
+			}
+			if *traceDir != "" {
+				f, err := report.WriteTrace(*traceDir, id, merged)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "qsmbench: writing trace: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s (%d spans, %d dropped)\n", f, merged.Spans(), merged.DroppedSpans())
+			}
 		}
 		rec := report.BenchRecord{
 			ID:          id,
@@ -109,5 +160,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", strings.Join(files, ", "))
+	}
+}
+
+// progressLogger returns an experiments.Progress callback that logs each
+// sweep point's completion (its final run) to stderr. The callback runs on
+// worker goroutines, so it serialises writes with a mutex; it only observes
+// the sweep, never its results, so tables stay byte-identical.
+func progressLogger(id string) func(experiments.Progress) {
+	var mu sync.Mutex
+	return func(p experiments.Progress) {
+		if p.RunsDone != p.Runs {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(os.Stderr, "qsmbench: %s: point %d/%d done (%d runs, %.1fs elapsed)\n",
+			id, p.Point+1, p.Points, p.Runs, p.Elapsed.Seconds())
 	}
 }

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	qsmtrace -alg sort -n 65536 -p 16 > timeline.csv
+//	qsmtrace -alg sort -trace sort.json   # Chrome trace JSON for Perfetto
+//
+// With -trace FILE the run additionally collects sim-time spans through
+// internal/obs — per-node superstep sync/compute spans and the underlying
+// engine metrics — and writes them as Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing. The CSV timeline still goes to stdout.
 package main
 
 import (
@@ -15,16 +21,18 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/qsmlib"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		alg  = flag.String("alg", "sort", "algorithm: prefix, sort, rank, or wyllie")
-		n    = flag.Int("n", 65536, "problem size")
-		p    = flag.Int("p", 16, "processors")
-		seed = flag.Int64("seed", 1, "random seed")
+		alg       = flag.String("alg", "sort", "algorithm: prefix, sort, rank, or wyllie")
+		n         = flag.Int("n", 65536, "problem size")
+		p         = flag.Int("p", 16, "processors")
+		seed      = flag.Int64("seed", 1, "random seed")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON file of the run's sim-time spans")
 	)
 	flag.Parse()
 
@@ -48,10 +56,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	m := qsmlib.New(*p, qsmlib.Options{Seed: *seed})
+	var rec *obs.Recorder
+	if *traceFile != "" {
+		rec = obs.New(obs.Config{Trace: true, Metrics: true})
+	}
+	m := qsmlib.New(*p, qsmlib.Options{Seed: *seed, Obs: rec})
 	if err := m.Run(prog); err != nil {
 		fmt.Fprintf(os.Stderr, "qsmtrace: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qsmtrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteTraceJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "qsmtrace: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "qsmtrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "qsmtrace: wrote %s (%d spans, %d dropped)\n",
+			*traceFile, rec.Spans(), rec.DroppedSpans())
 	}
 	fmt.Println("node,phase,start_cycles,end_cycles,duration_cycles,put_words,get_words")
 	for id := 0; id < *p; id++ {

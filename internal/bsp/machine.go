@@ -22,6 +22,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -34,7 +35,14 @@ type Options struct {
 	TreeBarrier bool
 	// Model builds each node's processor model; nil uses Table 2 analytic.
 	Model func(id int) cpu.Model
+	// Obs attaches an observability recorder to the machine, the messaging
+	// layer, and the superstep protocol. Nil costs nothing.
+	Obs *obs.Recorder
 }
+
+// tracePid is the trace process id bsp supersteps render under; qsmlib uses
+// pid 0, so a recorder shared by both (as in ext1) keeps them separate.
+const tracePid = 1
 
 // Region names a registered per-processor memory area.
 type Region int
@@ -66,6 +74,9 @@ func New(p int, opts Options) *Machine {
 	}
 	m := &Machine{opts: opts, byName: map[string]Region{}}
 	m.MP = machine.New(p, opts.Net, opts.Model)
+	if opts.Obs != nil {
+		m.MP.Observe(opts.Obs)
+	}
 	return m
 }
 
@@ -75,11 +86,29 @@ func (m *Machine) P() int { return m.MP.P() }
 // Run executes prog on every processor and drives the simulation.
 func (m *Machine) Run(prog func(*Proc)) error {
 	m.procs = make([]*Proc, m.P())
-	return m.MP.Run(m.opts.Seed, func(n *machine.Node) {
+	if rec := m.opts.Obs; rec.Tracing() {
+		rec.NamePid(tracePid, "bsp")
+		for i := 0; i < m.P(); i++ {
+			rec.NameTid(tracePid, i, fmt.Sprintf("proc%d", i))
+		}
+	}
+	err := m.MP.Run(m.opts.Seed, func(n *machine.Node) {
 		pc := newProc(m, n)
 		m.procs[n.ID()] = pc
 		prog(pc)
 	})
+	if rec := m.opts.Obs; rec != nil {
+		for _, pc := range m.procs {
+			if pc == nil {
+				continue
+			}
+			rec.Counter("bsp", "comm_cycles", "").Add(uint64(pc.commCycles))
+		}
+		for _, n := range m.MP.Nodes {
+			rec.Counter("bsp", "comp_cycles", "").Add(uint64(n.CompCycles))
+		}
+	}
+	return err
 }
 
 // Stats summarise a completed run.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -74,17 +75,35 @@ type Proc struct {
 	pending  []pendingGet
 
 	commCycles sim.Time
+
+	// Observability: nil-safe handles plus the last Sync's end time, which
+	// delimits the compute span preceding the next Sync.
+	rec           *obs.Recorder
+	obsSyncs      *obs.Counter
+	obsSyncCycles *obs.Histogram
+	obsPutWords   *obs.Histogram
+	obsGetWords   *obs.Histogram
+	lastSyncEnd   sim.Time
 }
 
 func newProc(m *Machine, n *machine.Node) *Proc {
 	p := m.P()
-	return &Proc{
+	pc := &Proc{
 		m:       m,
 		node:    n,
 		comm:    msg.NewComm(n, m.opts.SW),
 		outPuts: make([][]putSeg, p),
 		outReqs: make([][]getReq, p),
 	}
+	if rec := m.opts.Obs; rec != nil {
+		pc.rec = rec
+		pc.comm.Observe(rec)
+		pc.obsSyncs = rec.Counter("bsp", "syncs", "")
+		pc.obsSyncCycles = rec.Histogram("bsp", "sync_cycles", "", obs.ExpBuckets(1024, 2, 16))
+		pc.obsPutWords = rec.Histogram("bsp", "step_put_words", "", obs.ExpBuckets(1, 4, 12))
+		pc.obsGetWords = rec.Histogram("bsp", "step_get_words", "", obs.ExpBuckets(1, 4, 12))
+	}
+	return pc
 }
 
 // ID returns this processor's index.
@@ -278,6 +297,11 @@ func replyBytes(rm *replyMsg) int {
 // barrier.
 func (pc *Proc) Sync() {
 	t0 := pc.node.Now()
+	putWords := words(pc.selfPuts)
+	for _, segs := range pc.outPuts {
+		putWords += words(segs)
+	}
+	getWords := len(pc.pending)
 	p, me := pc.P(), pc.ID()
 	gen := pc.gen
 	pc.gen++
@@ -400,4 +424,21 @@ func (pc *Proc) Sync() {
 		pc.comm.Barrier()
 	}
 	pc.commCycles += pc.node.Now() - t0
+
+	end := pc.node.Now()
+	pc.obsSyncs.Inc()
+	pc.obsSyncCycles.Observe(float64(end - t0))
+	pc.obsPutWords.Observe(float64(putWords))
+	pc.obsGetWords.Observe(float64(getWords))
+	if pc.rec.Tracing() {
+		if t0 > pc.lastSyncEnd {
+			pc.rec.Span(tracePid, me, "bsp", "compute", uint64(pc.lastSyncEnd), uint64(t0),
+				obs.Arg{Key: "step", Val: int64(gen)})
+		}
+		pc.rec.Span(tracePid, me, "bsp", fmt.Sprintf("sync %d", gen), uint64(t0), uint64(end),
+			obs.Arg{Key: "step", Val: int64(gen)},
+			obs.Arg{Key: "put_words", Val: int64(putWords)},
+			obs.Arg{Key: "get_words", Val: int64(getWords)})
+	}
+	pc.lastSyncEnd = end
 }

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -28,6 +30,25 @@ type Options struct {
 	// forces the serial path. Results are merged in deterministic
 	// (point, run) order, so output is byte-identical at any setting.
 	Parallelism int
+	// Obs collects metrics and trace spans from the instrumented sweeps.
+	// Each (point, run) job records into its own obs.Recorder drawn from the
+	// sink, so collection is safe and deterministic at any Parallelism;
+	// Obs.Merged() after Run folds them in job order. Nil disables
+	// collection entirely.
+	Obs *obs.Sink
+	// Progress, when non-nil, is called after every completed (point, run)
+	// job with the sweep's progress so far. It may be called concurrently
+	// from worker goroutines; the callback must be safe for that.
+	Progress func(Progress)
+}
+
+// Progress reports one completed job of a sweep.
+type Progress struct {
+	Point    int           // sweep-point index within the current sweep
+	Points   int           // total sweep points
+	RunsDone int           // completed runs of this point, including this one
+	Runs     int           // total runs per point
+	Elapsed  time.Duration // wall time since the sweep started
 }
 
 func (o Options) runs() int {

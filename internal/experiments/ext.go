@@ -4,6 +4,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/bsp"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/qsmlib"
 	"repro/internal/report"
 	"repro/internal/workload"
@@ -27,19 +28,19 @@ func ext1(opt Options) (*Result, error) {
 		dTot, dComm, eTot, eComm float64
 		err                      error
 	}
-	per := sweepRuns(opt, len(sizes), runs, func(pt, r int) sample {
+	per := sweepRuns(opt, len(sizes), runs, func(pt, r int, rec *obs.Recorder) sample {
 		n := sizes[pt]
 		seed := opt.Seed + int64(r)
 		in := workload.UniformInts(n, 0, seed)
 		alg := algorithms.SampleSort{N: n, Input: blockInput(in, n)}
 
-		direct := qsmlib.New(defaultP, qsmlib.Options{Seed: seed})
+		direct := qsmlib.New(defaultP, qsmlib.Options{Seed: seed, Obs: rec})
 		if err := direct.Run(alg.Program()); err != nil {
 			return sample{err: err}
 		}
 		ds := direct.RunStats()
 
-		emu := bsp.NewQSM(defaultP, bsp.Options{Seed: seed}, core.LayoutBlocked)
+		emu := bsp.NewQSM(defaultP, bsp.Options{Seed: seed, Obs: rec}, core.LayoutBlocked)
 		if err := emu.Run(alg.Program()); err != nil {
 			return sample{err: err}
 		}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/logp"
+	"repro/internal/obs"
 	"repro/internal/qsmlib"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -26,12 +27,12 @@ func ext2(opt Options) (*Result, error) {
 	// One job per machine size; each runs its four collectives on private
 	// machines.
 	type row struct{ qb, lb, qs, ls sim.Time }
-	rows := sweepPoints(opt, len(ps), func(i int) row {
+	rows := sweepPoints(opt, len(ps), func(i int, rec *obs.Recorder) row {
 		p := ps[i]
 		return row{
-			qb: qsmBroadcastCycles(p, opt.Seed),
+			qb: qsmBroadcastCycles(p, opt.Seed, rec),
 			lb: logpCycles(p, opt.Seed, func(pc *logp.Proc) { logp.Broadcast(pc, 0, 42) }),
-			qs: qsmSumCycles(p, opt.Seed),
+			qs: qsmSumCycles(p, opt.Seed, rec),
 			ls: logpCycles(p, opt.Seed, func(pc *logp.Proc) { logp.Sum(pc, 0, int64(pc.ID())) }),
 		}
 	})
@@ -47,8 +48,8 @@ func ext2(opt Options) (*Result, error) {
 	return &Result{ID: "ext2", Title: Title("ext2"), Tables: []*report.Table{t}}, nil
 }
 
-func qsmBroadcastCycles(p int, seed int64) sim.Time {
-	m := qsmlib.New(p, qsmlib.Options{Seed: seed})
+func qsmBroadcastCycles(p int, seed int64, rec *obs.Recorder) sim.Time {
+	m := qsmlib.New(p, qsmlib.Options{Seed: seed, Obs: rec})
 	if err := m.Run(func(ctx core.Ctx) {
 		g := collective.NewGroup(ctx, "x2")
 		g.Broadcast(0, []int64{42})
@@ -58,8 +59,8 @@ func qsmBroadcastCycles(p int, seed int64) sim.Time {
 	return m.RunStats().TotalCycles
 }
 
-func qsmSumCycles(p int, seed int64) sim.Time {
-	m := qsmlib.New(p, qsmlib.Options{Seed: seed})
+func qsmSumCycles(p int, seed int64, rec *obs.Recorder) sim.Time {
+	m := qsmlib.New(p, qsmlib.Options{Seed: seed, Obs: rec})
 	if err := m.Run(func(ctx core.Ctx) {
 		g := collective.NewGroup(ctx, "x2")
 		g.AllReduce([]int64{int64(ctx.ID())}, collective.Sum)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/algorithms"
+	"repro/internal/obs"
 	"repro/internal/qsmlib"
 	"repro/internal/report"
 	"repro/internal/workload"
@@ -25,18 +26,18 @@ func ext3(opt Options) (*Result, error) {
 		wTot, wComm, rTot, rComm float64
 		err                      error
 	}
-	per := sweepRuns(opt, len(sizes), runs, func(pt, r int) sample {
+	per := sweepRuns(opt, len(sizes), runs, func(pt, r int, rec *obs.Recorder) sample {
 		n := sizes[pt]
 		seed := opt.Seed + int64(r)
 		l := workload.RandomList(n, seed)
 
-		mw := qsmlib.New(defaultP, qsmlib.Options{Seed: seed})
+		mw := qsmlib.New(defaultP, qsmlib.Options{Seed: seed, Obs: rec})
 		if err := mw.Run(algorithms.WyllieListRank{List: l}.Program()); err != nil {
 			return sample{err: err}
 		}
 		ws := mw.RunStats()
 
-		mr := qsmlib.New(defaultP, qsmlib.Options{Seed: seed})
+		mr := qsmlib.New(defaultP, qsmlib.Options{Seed: seed, Obs: rec})
 		if err := mr.Run(algorithms.ListRank{List: l}.Program()); err != nil {
 			return sample{err: err}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/qsmlib"
 	"repro/internal/report"
 )
@@ -28,10 +29,10 @@ func ext4(opt Options) (*Result, error) {
 	kappas := []int{16, 64, 256, 1024}
 	// One job per kappa point, timing the hot and the spread pattern.
 	type pair struct{ hot, spread float64 }
-	ms := sweepPoints(opt, len(kappas), func(i int) pair {
+	ms := sweepPoints(opt, len(kappas), func(i int, rec *obs.Recorder) pair {
 		return pair{
-			hot:    contendedRun(p, kappas[i], true, opt.Seed),
-			spread: contendedRun(p, kappas[i], false, opt.Seed),
+			hot:    contendedRun(p, kappas[i], true, opt.Seed, rec),
+			spread: contendedRun(p, kappas[i], false, opt.Seed, rec),
 		}
 	})
 
@@ -58,8 +59,8 @@ func ext4(opt Options) (*Result, error) {
 // kappa single-word reads: all to one owner's words (hot) or spread evenly
 // over all owners (control). Returns the phase duration in cycles beyond an
 // empty sync.
-func contendedRun(p, kappa int, hot bool, seed int64) float64 {
-	m := qsmlib.New(p, qsmlib.Options{Seed: seed})
+func contendedRun(p, kappa int, hot bool, seed int64, rec *obs.Recorder) float64 {
+	m := qsmlib.New(p, qsmlib.Options{Seed: seed, Obs: rec})
 	n := p * kappa
 	if err := m.Run(func(ctx core.Ctx) {
 		h := ctx.Register("hot", n)

@@ -4,6 +4,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/machine"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -36,8 +37,8 @@ func fig1(opt Options) (*Result, error) {
 	c := mc.Calib(defaultP)
 	sizes := sweepSizes(opt.Quick, []int{4096, 16384, 65536, 262144, 1048576})
 
-	per := sweepRuns(opt, len(sizes), opt.runs(), func(pt, r int) measured {
-		return prefixOnce(net, sizes[pt], defaultP, opt.Seed+int64(r))
+	per := sweepRuns(opt, len(sizes), opt.runs(), func(pt, r int, rec *obs.Recorder) measured {
+		return prefixOnce(net, sizes[pt], defaultP, opt.Seed+int64(r), rec)
 	})
 
 	t := report.NewTable("Figure 1: prefix sums (p=16, g=3, l=1600, o=400; cycles)",
@@ -60,8 +61,8 @@ func fig2(opt Options) (*Result, error) {
 	c := mc.Calib(defaultP)
 	sizes := sweepSizes(opt.Quick, []int{16384, 32768, 65536, 131072, 262144, 524288, 1048576})
 
-	per := sweepRuns(opt, len(sizes), opt.runs(), func(pt, r int) sortRun {
-		return sortOnce(net, sizes[pt], defaultP, opt.Seed+int64(r))
+	per := sweepRuns(opt, len(sizes), opt.runs(), func(pt, r int, rec *obs.Recorder) sortRun {
+		return sortOnce(net, sizes[pt], defaultP, opt.Seed+int64(r), rec)
 	})
 
 	t := report.NewTable("Figure 2: sample sort (p=16; communication cycles)",
@@ -91,8 +92,8 @@ func fig3(opt Options) (*Result, error) {
 	iters := 16 // 4*log2(16)
 
 	rankIters := algorithms.Iterations(0, defaultP)
-	per := sweepRuns(opt, len(sizes), opt.runs(), func(pt, r int) rankRun {
-		return rankOnce(net, sizes[pt], defaultP, rankIters, opt.Seed+int64(r))
+	per := sweepRuns(opt, len(sizes), opt.runs(), func(pt, r int, rec *obs.Recorder) rankRun {
+		return rankOnce(net, sizes[pt], defaultP, rankIters, opt.Seed+int64(r), rec)
 	})
 
 	t := report.NewTable("Figure 3: list ranking (p=16; communication cycles)",

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -46,10 +47,10 @@ func fig4(opt Options) (*Result, error) {
 			pts = append(pts, point{l, n})
 		}
 	}
-	per := sweepRuns(opt, len(pts), opt.runs(), func(pt, r int) sortRun {
+	per := sweepRuns(opt, len(pts), opt.runs(), func(pt, r int, rec *obs.Recorder) sortRun {
 		net := base
 		net.Latency = pts[pt].l
-		return sortOnce(net, pts[pt].n, defaultP, opt.Seed+int64(r))
+		return sortOnce(net, pts[pt].n, defaultP, opt.Seed+int64(r), rec)
 	})
 
 	t := report.NewTable("Figure 4: sample sort comm vs latency (p=16; cycles)",
@@ -107,7 +108,7 @@ func fig5(opt Options) (*Result, error) {
 	if opt.Quick {
 		lats = lats[:2]
 	}
-	ns := sweepPoints(opt, len(lats), func(i int) float64 {
+	ns := sweepPoints(opt, len(lats), func(i int, _ *obs.Recorder) float64 {
 		net := base
 		net.Latency = lats[i]
 		return crossoverN(net, c, opt)
@@ -138,7 +139,7 @@ func fig6(opt Options) (*Result, error) {
 	if opt.Quick {
 		ovhs = ovhs[:2]
 	}
-	ns := sweepPoints(opt, len(ovhs), func(i int) float64 {
+	ns := sweepPoints(opt, len(ovhs), func(i int, _ *obs.Recorder) float64 {
 		net := base
 		net.SendOverhead = ovhs[i]
 		net.RecvOverhead = ovhs[i]

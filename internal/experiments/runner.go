@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the parallel experiment runner. Every driver expresses its
@@ -62,13 +65,57 @@ func parMap[T any](par, n int, fn func(i int) T) []T {
 	return out
 }
 
+// progressTracker drives Options.Progress callbacks for one sweep. A nil
+// tracker is a no-op.
+type progressTracker struct {
+	fn     func(Progress)
+	start  time.Time
+	points int
+	runs   int
+	done   []atomic.Int32 // completed runs per point
+}
+
+func newProgressTracker(opt Options, points, runs int) *progressTracker {
+	if opt.Progress == nil {
+		return nil
+	}
+	return &progressTracker{
+		fn:     opt.Progress,
+		start:  time.Now(),
+		points: points,
+		runs:   runs,
+		done:   make([]atomic.Int32, points),
+	}
+}
+
+func (pt *progressTracker) jobDone(point int) {
+	if pt == nil {
+		return
+	}
+	pt.fn(Progress{
+		Point:    point,
+		Points:   pt.points,
+		RunsDone: int(pt.done[point].Add(1)),
+		Runs:     pt.runs,
+		Elapsed:  time.Since(pt.start),
+	})
+}
+
 // sweepRuns fans the full (point, run) grid of a sweep across the worker
 // pool and returns result[point][run]. This is the widest fan-out: with
 // points*runs jobs in one pool, a slow point cannot leave workers idle the
 // way per-point parallelism would.
-func sweepRuns[T any](opt Options, points, runs int, fn func(point, run int) T) [][]T {
+//
+// Each job receives its own obs.Recorder (nil when Options.Obs is nil),
+// reserved from the sink in flat (point, run) order before the fan-out so
+// the eventual Merged() aggregation is independent of worker scheduling.
+func sweepRuns[T any](opt Options, points, runs int, fn func(point, run int, rec *obs.Recorder) T) [][]T {
+	base := opt.Obs.Reserve(points * runs)
+	pt := newProgressTracker(opt, points, runs)
 	flat := parMap(opt.parallelism(), points*runs, func(i int) T {
-		return fn(i/runs, i%runs)
+		v := fn(i/runs, i%runs, opt.Obs.Recorder(base+i))
+		pt.jobDone(i / runs)
+		return v
 	})
 	out := make([][]T, points)
 	for p := 0; p < points; p++ {
@@ -79,6 +126,12 @@ func sweepRuns[T any](opt Options, points, runs int, fn func(point, run int) T) 
 
 // sweepPoints fans one job per sweep point, for drivers whose per-point work
 // is not a plain repetition grid (adaptive scans, multi-machine jobs).
-func sweepPoints[T any](opt Options, points int, fn func(point int) T) []T {
-	return parMap(opt.parallelism(), points, fn)
+func sweepPoints[T any](opt Options, points int, fn func(point int, rec *obs.Recorder) T) []T {
+	base := opt.Obs.Reserve(points)
+	pt := newProgressTracker(opt, points, 1)
+	return parMap(opt.parallelism(), points, func(i int) T {
+		v := fn(i, opt.Obs.Recorder(base+i))
+		pt.jobDone(i)
+		return v
+	})
 }

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestParMapOrder(t *testing.T) {
@@ -39,7 +43,7 @@ func TestParMapPanicPropagates(t *testing.T) {
 
 func TestSweepRunsShape(t *testing.T) {
 	opt := Options{Parallelism: 3}
-	got := sweepRuns(opt, 4, 5, func(pt, r int) [2]int { return [2]int{pt, r} })
+	got := sweepRuns(opt, 4, 5, func(pt, r int, _ *obs.Recorder) [2]int { return [2]int{pt, r} })
 	if len(got) != 4 {
 		t.Fatalf("points = %d, want 4", len(got))
 	}
@@ -66,7 +70,8 @@ func TestParallelismDefault(t *testing.T) {
 
 // TestParallelDeterminism is the contract the runner is built around: for
 // every experiment, the serial path and an 8-worker pool must render
-// byte-identical tables at the same seed.
+// byte-identical tables at the same seed — and, with observability on,
+// byte-identical aggregated metrics too.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweeps in -short mode")
@@ -75,11 +80,13 @@ func TestParallelDeterminism(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			serial, err := Run(id, Options{Seed: 1, Runs: 2, Quick: true, Parallelism: 1})
+			serialSink := obs.NewSink(obs.Config{Metrics: true})
+			serial, err := Run(id, Options{Seed: 1, Runs: 2, Quick: true, Parallelism: 1, Obs: serialSink})
 			if err != nil {
 				t.Fatal(err)
 			}
-			parallel, err := Run(id, Options{Seed: 1, Runs: 2, Quick: true, Parallelism: 8})
+			parallelSink := obs.NewSink(obs.Config{Metrics: true})
+			parallel, err := Run(id, Options{Seed: 1, Runs: 2, Quick: true, Parallelism: 8, Obs: parallelSink})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -93,7 +100,54 @@ func TestParallelDeterminism(t *testing.T) {
 				t.Errorf("parallel output diverges from serial at line %d:\nserial:   %q\nparallel: %q",
 					line, at(la, line), at(lb, line))
 			}
+			var ma, mb bytes.Buffer
+			if err := serialSink.Merged().WriteMetricsJSON(&ma); err != nil {
+				t.Fatal(err)
+			}
+			if err := parallelSink.Merged().WriteMetricsJSON(&mb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ma.Bytes(), mb.Bytes()) {
+				t.Errorf("aggregated metrics diverge between serial and parallel runs (%d vs %d bytes)",
+					ma.Len(), mb.Len())
+			}
 		})
+	}
+}
+
+// TestProgressCallback checks the runner reports one completed job per
+// (point, run) with consistent totals, at any parallelism.
+func TestProgressCallback(t *testing.T) {
+	var mu sync.Mutex
+	var events []Progress
+	opt := Options{
+		Parallelism: 4,
+		Progress: func(p Progress) {
+			mu.Lock()
+			events = append(events, p)
+			mu.Unlock()
+		},
+	}
+	sweepRuns(opt, 3, 4, func(pt, r int, _ *obs.Recorder) int { return pt*10 + r })
+	if len(events) != 12 {
+		t.Fatalf("got %d progress events, want 12", len(events))
+	}
+	final := map[int]int{}
+	for _, p := range events {
+		if p.Points != 3 || p.Runs != 4 {
+			t.Fatalf("progress totals = (%d points, %d runs), want (3, 4)", p.Points, p.Runs)
+		}
+		if p.RunsDone < 1 || p.RunsDone > 4 {
+			t.Fatalf("RunsDone = %d out of range", p.RunsDone)
+		}
+		if p.RunsDone > final[p.Point] {
+			final[p.Point] = p.RunsDone
+		}
+	}
+	for pt := 0; pt < 3; pt++ {
+		if final[pt] != 4 {
+			t.Errorf("point %d finished with RunsDone=%d, want 4", pt, final[pt])
+		}
 	}
 }
 

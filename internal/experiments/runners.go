@@ -4,6 +4,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/machine"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/qsmlib"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -38,10 +39,10 @@ func blockInput(all []int64, n int) func(id, p int) []int64 {
 }
 
 // prefixOnce runs the prefix-sums program once on its own machine.
-func prefixOnce(net machine.NetParams, n, p int, seed int64) measured {
+func prefixOnce(net machine.NetParams, n, p int, seed int64, rec *obs.Recorder) measured {
 	in := workload.UniformInts(n, 1000, seed)
 	alg := algorithms.PrefixSums{N: n, Input: blockInput(in, n)}
-	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed})
+	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed, Obs: rec})
 	if err := m.Run(alg.Program()); err != nil {
 		panic(err)
 	}
@@ -53,7 +54,7 @@ func prefixOnce(net machine.NetParams, n, p int, seed int64) measured {
 // workers.
 func runPrefix(net machine.NetParams, n, p, runs int, seed int64, par int) measured {
 	return avgMeasured(parMap(par, runs, func(r int) measured {
-		return prefixOnce(net, n, p, seed+int64(r))
+		return prefixOnce(net, n, p, seed+int64(r), nil)
 	}))
 }
 
@@ -67,11 +68,11 @@ type sortRun struct {
 }
 
 // sortOnce runs the sample-sort program once on its own machine.
-func sortOnce(net machine.NetParams, n, p int, seed int64) sortRun {
+func sortOnce(net machine.NetParams, n, p int, seed int64, rec *obs.Recorder) sortRun {
 	in := workload.UniformInts(n, 0, seed)
 	skew := algorithms.NewSortSkew(p)
 	alg := algorithms.SampleSort{N: n, Input: blockInput(in, n), Skew: skew}
-	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed})
+	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed, Obs: rec})
 	if err := m.Run(alg.Program()); err != nil {
 		panic(err)
 	}
@@ -101,7 +102,7 @@ func avgSort(ss []sortRun) sortRun {
 // returning the run average and the average observed skews.
 func runSort(net machine.NetParams, n, p, runs int, seed int64, par int) sortRun {
 	return avgSort(parMap(par, runs, func(r int) sortRun {
-		return sortOnce(net, n, p, seed+int64(r))
+		return sortOnce(net, n, p, seed+int64(r), nil)
 	}))
 }
 
@@ -119,11 +120,11 @@ type rankRun struct {
 }
 
 // rankOnce runs the list-ranking program once on its own machine.
-func rankOnce(net machine.NetParams, n, p, iters int, seed int64) rankRun {
+func rankOnce(net machine.NetParams, n, p, iters int, seed int64, rec *obs.Recorder) rankRun {
 	l := workload.RandomList(n, seed)
 	tr := algorithms.NewRankTrace(p, iters)
 	alg := algorithms.ListRank{List: l, Trace: tr}
-	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed})
+	m := qsmlib.New(p, qsmlib.Options{Net: net, Seed: seed, Obs: rec})
 	if err := m.Run(alg.Program()); err != nil {
 		panic(err)
 	}
@@ -159,6 +160,6 @@ func avgRank(ss []rankRun) rankRun {
 func runRank(net machine.NetParams, n, p, runs int, seed int64, par int) rankRun {
 	iters := algorithms.Iterations(0, p)
 	return avgRank(parMap(par, runs, func(r int) rankRun {
-		return rankOnce(net, n, p, iters, seed+int64(r))
+		return rankOnce(net, n, p, iters, seed+int64(r), nil)
 	}))
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/membank"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -47,7 +48,7 @@ func table2(opt Options) (*Result, error) {
 	// Each kernel's trace-driven run builds its own detailed core, so the
 	// validations fan across the pool.
 	type pair struct{ ca, cd float64 }
-	vs := sweepPoints(opt, len(kernels), func(i int) pair {
+	vs := sweepPoints(opt, len(kernels), func(i int, _ *obs.Recorder) pair {
 		det := cpu.NewDetailedModel(p, 200000, opt.Seed+1)
 		return pair{float64(an.Cycles(kernels[i].b)), float64(det.Cycles(kernels[i].b))}
 	})
@@ -107,7 +108,7 @@ func table4(opt Options) (*Result, error) {
 	def := archs[0]
 	kCal := 8000 / (nMin(def) / float64(def.p))
 
-	vals := sweepPoints(opt, len(archs), func(i int) float64 {
+	vals := sweepPoints(opt, len(archs), func(i int, _ *obs.Recorder) float64 {
 		return kCal * nMin(archs[i]) / float64(archs[i].p)
 	})
 	t := report.NewTable("Table 4: predicted minimum problem size for accurate QSM prediction (sample sort)",
@@ -128,8 +129,8 @@ func fig7(opt Options) (*Result, error) {
 	cfgs := membank.AllConfigs()
 	// One job per architecture; each runs its three access patterns on its
 	// own simulated memory system.
-	results := sweepPoints(opt, len(cfgs), func(i int) []membank.Result {
-		return membank.RunAll(cfgs[i], accesses, opt.Seed)
+	results := sweepPoints(opt, len(cfgs), func(i int, rec *obs.Recorder) []membank.Result {
+		return membank.RunAllObserved(cfgs[i], accesses, opt.Seed, rec)
 	})
 	t := report.NewTable("Figure 7: remote memory access time under load (us per access)",
 		"architecture", "Random", "Conflict", "NoConflict", "Conflict/NoConflict", "Random/NoConflict")

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -62,6 +63,14 @@ type Multiprocessor struct {
 	E     *sim.Engine
 	Net   NetParams
 	Nodes []*Node
+
+	// Observability hooks, nil unless Observe attached a recorder; every
+	// handle is nil-safe, so Send pays one branch per hook when off.
+	rec          *obs.Recorder
+	obsMsgs      *obs.Counter
+	obsLatency   *obs.Histogram
+	obsOccupancy *obs.Histogram
+	obsBytes     *obs.Histogram
 }
 
 // New builds a p-node machine on a fresh engine. model builds the per-node
@@ -90,6 +99,21 @@ func New(p int, net NetParams, model func(id int) cpu.Model) *Multiprocessor {
 
 // P returns the node count.
 func (mp *Multiprocessor) P() int { return len(mp.Nodes) }
+
+// Observe attaches an observability recorder to the machine and its engine:
+// per-message end-to-end latency, NIC occupancy, and wire-size histograms,
+// plus the engine's own event and queue metrics. Call before Run.
+func (mp *Multiprocessor) Observe(r *obs.Recorder) {
+	mp.rec = r
+	mp.E.Observe(r)
+	mp.obsMsgs = r.Counter("machine", "msgs_sent", "")
+	mp.obsLatency = r.Histogram("machine", "msg_latency_cycles", "", obs.ExpBuckets(256, 2, 14))
+	mp.obsOccupancy = r.Histogram("machine", "nic_occupancy_cycles", "", obs.ExpBuckets(64, 2, 12))
+	mp.obsBytes = r.Histogram("machine", "msg_wire_bytes", "", obs.ExpBuckets(16, 4, 8))
+}
+
+// Recorder returns the recorder attached with Observe, or nil.
+func (mp *Multiprocessor) Recorder() *obs.Recorder { return mp.rec }
 
 // Run spawns one process per node executing prog and drives the simulation
 // to completion.
@@ -154,6 +178,7 @@ func (n *Node) Send(dst, tag, bytes int, payload interface{}) {
 		panic(fmt.Sprintf("machine: send to invalid node %d", dst))
 	}
 	net := &n.mp.Net
+	t0 := n.proc.Now()
 	n.proc.Advance(net.SendOverhead)
 	occupancy := net.NICOverhead + sim.Time(float64(bytes)*net.Gap)
 	_, end := n.sendNIC.Use(occupancy)
@@ -164,6 +189,10 @@ func (n *Node) Send(dst, tag, bytes int, payload interface{}) {
 	dstNode.inbox.SendAfter(rend-now, Packet{Src: n.id, Dst: dst, Tag: tag, Bytes: bytes, Payload: payload})
 	n.MsgsSent++
 	n.BytesSent += uint64(bytes)
+	n.mp.obsMsgs.Inc()
+	n.mp.obsLatency.Observe(float64(rend - t0))
+	n.mp.obsOccupancy.Observe(float64(occupancy))
+	n.mp.obsBytes.Observe(float64(bytes))
 }
 
 // Recv blocks until any message is available in the inbox, removes it, and

@@ -19,6 +19,7 @@ package membank
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -150,10 +151,86 @@ func (r Result) AvgMicros() float64 {
 // Run executes the microbenchmark: every processor performs accessesPerProc
 // synchronous remote accesses under the pattern. Deterministic in seed.
 func Run(cfg Config, pat Pattern, accessesPerProc int, seed int64) Result {
+	return RunObserved(cfg, pat, accessesPerProc, seed, nil)
+}
+
+// bankObs holds the per-bank and per-pattern metric handles of one observed
+// run. All handles are nil-safe, so a zero bankObs is a no-op.
+type bankObs struct {
+	rec       *obs.Recorder
+	depth     []*obs.Histogram // queued accesses ahead, per bank
+	contended []*obs.Counter   // accesses that found the bank busy, per bank
+	accesses  []*obs.Counter   // total accesses, per bank
+	cycles    *obs.Histogram   // end-to-end access time, per arch+pattern
+	pid       int
+}
+
+func newBankObs(rec *obs.Recorder, cfg Config, pat Pattern) bankObs {
+	bo := bankObs{
+		rec:       rec,
+		depth:     make([]*obs.Histogram, cfg.Banks),
+		contended: make([]*obs.Counter, cfg.Banks),
+		accesses:  make([]*obs.Counter, cfg.Banks),
+		pid:       int(pat),
+	}
+	if rec == nil {
+		return bo
+	}
+	depthBounds := obs.LinearBuckets(0, 1, 16)
+	for b := 0; b < cfg.Banks; b++ {
+		labels := fmt.Sprintf("arch=%s,pattern=%s,bank=%d", cfg.Name, pat, b)
+		bo.depth[b] = rec.Histogram("membank", "queue_depth", labels, depthBounds)
+		bo.contended[b] = rec.Counter("membank", "contended", labels)
+		bo.accesses[b] = rec.Counter("membank", "accesses", labels)
+	}
+	bo.cycles = rec.Histogram("membank", "access_cycles",
+		fmt.Sprintf("arch=%s,pattern=%s", cfg.Name, pat),
+		obs.ExpBuckets(float64(cfg.BankTime), 2, 14))
+	if rec.Tracing() {
+		rec.NamePid(bo.pid, cfg.Name+" "+pat.String())
+		for b := 0; b < cfg.Banks; b++ {
+			rec.NameTid(bo.pid, b, fmt.Sprintf("bank%d", b))
+		}
+		if cfg.SharedMedium {
+			rec.NameTid(bo.pid, cfg.Banks, "medium")
+		}
+	}
+	return bo
+}
+
+// observe records one access: its queue depth on arrival at the bank
+// (reservations ahead of it, in service-time units), whether it contended,
+// and a bank-occupancy span for the trace.
+func (bo bankObs) observe(cfg Config, bank int, arrive, bStart, bEnd sim.Time) {
+	if bo.rec == nil {
+		return
+	}
+	depth := int64(0)
+	if bStart > arrive && cfg.BankTime > 0 {
+		depth = int64((bStart - arrive + cfg.BankTime - 1) / cfg.BankTime)
+	}
+	bo.depth[bank].Observe(float64(depth))
+	bo.accesses[bank].Inc()
+	if depth > 0 {
+		bo.contended[bank].Inc()
+	}
+	bo.rec.Span(bo.pid, bank, "bank", "access", uint64(bStart), uint64(bEnd),
+		obs.Arg{Key: "depth", Val: depth})
+}
+
+// RunObserved is Run with an observability recorder (nil behaves exactly
+// like Run): per-bank queue-depth histograms, contention counters, an
+// end-to-end access-time histogram, and bank-occupancy trace spans keyed by
+// pattern so Random, Conflict and NoConflict render as separate processes.
+func RunObserved(cfg Config, pat Pattern, accessesPerProc int, seed int64, rec *obs.Recorder) Result {
 	if cfg.Procs <= 0 || cfg.Banks <= 0 {
 		panic("membank: procs and banks must be positive")
 	}
 	e := sim.NewEngine()
+	if rec != nil {
+		e.Observe(rec)
+	}
+	bo := newBankObs(rec, cfg, pat)
 	banks := make([]*sim.Server, cfg.Banks)
 	for i := range banks {
 		banks[i] = e.NewServer()
@@ -179,15 +256,21 @@ func Run(cfg Config, pat Pattern, accessesPerProc int, seed int64) Result {
 					// A random word of a random remote bank.
 					bank = rng.Intn(cfg.Banks)
 				}
+				t0 := p.Now()
 				p.Advance(cfg.ReqOverhead)
 				arrive := p.Now() + cfg.WireLatency
 				if medium != nil {
-					_, mEnd := medium.UseAt(p.Now(), cfg.MediumTime)
+					mStart, mEnd := medium.UseAt(p.Now(), cfg.MediumTime)
 					arrive = mEnd + cfg.WireLatency
+					if bo.rec != nil {
+						bo.rec.Span(bo.pid, cfg.Banks, "medium", "frame", uint64(mStart), uint64(mEnd))
+					}
 				}
-				_, bEnd := banks[bank].UseAt(arrive, cfg.BankTime)
+				bStart, bEnd := banks[bank].UseAt(arrive, cfg.BankTime)
+				bo.observe(cfg, bank, arrive, bStart, bEnd)
 				done := bEnd + cfg.WireLatency
 				p.Advance(done - p.Now())
+				bo.cycles.Observe(float64(p.Now() - t0))
 			}
 			totals[pid] = p.Now() - start
 		})
@@ -214,9 +297,15 @@ func Run(cfg Config, pat Pattern, accessesPerProc int, seed int64) Result {
 
 // RunAll measures every pattern on cfg.
 func RunAll(cfg Config, accessesPerProc int, seed int64) []Result {
+	return RunAllObserved(cfg, accessesPerProc, seed, nil)
+}
+
+// RunAllObserved is RunAll with an observability recorder (nil behaves
+// exactly like RunAll).
+func RunAllObserved(cfg Config, accessesPerProc int, seed int64, rec *obs.Recorder) []Result {
 	out := make([]Result, 0, 3)
 	for _, pat := range []Pattern{Random, Conflict, NoConflict} {
-		out = append(out, Run(cfg, pat, accessesPerProc, seed))
+		out = append(out, RunObserved(cfg, pat, accessesPerProc, seed, rec))
 	}
 	return out
 }

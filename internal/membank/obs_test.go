@@ -1,0 +1,114 @@
+package membank
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func bankLabels(cfg Config, pat Pattern, bank int) string {
+	return fmt.Sprintf("arch=%s,pattern=%s,bank=%d", cfg.Name, pat, bank)
+}
+
+// TestObservedConflictContention checks the per-bank metrics distinguish the
+// paper's access patterns: Conflict hammers bank 0 with queueing, NoConflict
+// never contends.
+func TestObservedConflictContention(t *testing.T) {
+	cfg := SMPNative()
+	rec := obs.New(obs.Config{Metrics: true})
+	rc := RunObserved(cfg, Conflict, 50, 1, rec)
+	if rc.AvgCycles <= 0 {
+		t.Fatal("observed run produced no result")
+	}
+
+	hot := rec.FindHistogram("membank", "queue_depth", bankLabels(cfg, Conflict, 0))
+	if hot == nil {
+		t.Fatal("no queue-depth histogram for the hot bank")
+	}
+	if hot.Count() != uint64(cfg.Procs*50) {
+		t.Errorf("hot-bank depth observations = %d, want %d", hot.Count(), cfg.Procs*50)
+	}
+	// With 8 processors pounding one bank, most accesses queue behind others:
+	// depth 0 (bucket 0) must not account for everything.
+	if zero := hot.BucketCount(0); zero == hot.Count() {
+		t.Error("Conflict pattern shows no queueing on the hot bank")
+	}
+	if c := rec.FindCounter("membank", "contended", bankLabels(cfg, Conflict, 0)); c.Value() == 0 {
+		t.Error("Conflict pattern recorded no contended accesses on bank 0")
+	}
+	for b := 1; b < cfg.Banks; b++ {
+		if c := rec.FindCounter("membank", "accesses", bankLabels(cfg, Conflict, b)); c.Value() != 0 {
+			t.Errorf("Conflict pattern touched bank %d (%d accesses)", b, c.Value())
+		}
+	}
+
+	rec2 := obs.New(obs.Config{Metrics: true})
+	RunObserved(cfg, NoConflict, 50, 1, rec2)
+	for b := 0; b < cfg.Banks; b++ {
+		if c := rec2.FindCounter("membank", "contended", bankLabels(cfg, NoConflict, b)); c.Value() != 0 {
+			t.Errorf("NoConflict pattern contended on bank %d (%d times)", b, c.Value())
+		}
+	}
+}
+
+// TestObservedMatchesUnobserved checks instrumentation does not perturb the
+// simulation: results are identical with and without a recorder.
+func TestObservedMatchesUnobserved(t *testing.T) {
+	cfg := SMPBSPlib2()
+	for _, pat := range []Pattern{Random, Conflict, NoConflict} {
+		plain := Run(cfg, pat, 30, 7)
+		observed := RunObserved(cfg, pat, 30, 7, obs.New(obs.Config{Metrics: true, Trace: true}))
+		if plain != observed {
+			t.Errorf("%v: observed result diverges: %+v vs %+v", pat, observed, plain)
+		}
+	}
+}
+
+// TestObservedTraceSpans checks a traced run emits per-bank access spans and
+// (on the shared-medium NOW config) medium frames.
+func TestObservedTraceSpans(t *testing.T) {
+	rec := obs.New(obs.Config{Metrics: true, Trace: true})
+	RunObserved(SMPNative(), Random, 20, 1, rec)
+	if rec.Spans() == 0 {
+		t.Error("traced SMP run emitted no spans")
+	}
+
+	now := NOWBSPlib()
+	now.Procs, now.Banks = 4, 4
+	rec2 := obs.New(obs.Config{Metrics: true, Trace: true})
+	RunObserved(now, Random, 5, 1, rec2)
+	if rec2.Spans() == 0 {
+		t.Error("traced NOW run emitted no spans")
+	}
+}
+
+// TestRunAllObservedPatternsDistinct checks the aggregate fig7 recorder keeps
+// the three patterns' histograms separate (distinct label sets) so the
+// METRICS_fig7.json criterion — per-bank depth histograms that distinguish
+// the patterns — holds.
+func TestRunAllObservedPatternsDistinct(t *testing.T) {
+	cfg := SMPNative()
+	rec := obs.New(obs.Config{Metrics: true})
+	if got := len(RunAllObserved(cfg, 40, 1, rec)); got != 3 {
+		t.Fatalf("RunAllObserved returned %d results, want 3", got)
+	}
+	depth := func(pat Pattern, bank int) *obs.Histogram {
+		h := rec.FindHistogram("membank", "queue_depth", bankLabels(cfg, pat, bank))
+		if h == nil {
+			t.Fatalf("missing queue-depth histogram for %v bank %d", pat, bank)
+		}
+		return h
+	}
+	conflictQueued := depth(Conflict, 0).Count() - depth(Conflict, 0).BucketCount(0)
+	noConflictQueued := uint64(0)
+	for b := 0; b < cfg.Banks; b++ {
+		noConflictQueued += depth(NoConflict, b).Count() - depth(NoConflict, b).BucketCount(0)
+	}
+	if conflictQueued == 0 {
+		t.Error("Conflict depth histogram shows no queued accesses")
+	}
+	if noConflictQueued != 0 {
+		t.Errorf("NoConflict depth histograms show %d queued accesses, want 0", noConflictQueued)
+	}
+}

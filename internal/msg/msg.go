@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -49,11 +50,25 @@ type Comm struct {
 	// CommCycles accumulates simulated time spent inside this layer; the
 	// experiments report it as "communication time".
 	CommCycles sim.Time
+
+	// Observability hooks, nil unless Observe attached a recorder.
+	obsSends    *obs.Counter
+	obsBarriers *obs.Counter
+	obsPayload  *obs.Histogram
 }
 
 // NewComm layers software messaging over a node.
 func NewComm(n *machine.Node, sw SWParams) *Comm {
 	return &Comm{Node: n, SW: sw}
+}
+
+// Observe attaches an observability recorder to the messaging layer:
+// software-level send and barrier counts and a payload-size histogram
+// (wire headers excluded, unlike machine's msg_wire_bytes).
+func (c *Comm) Observe(r *obs.Recorder) {
+	c.obsSends = r.Counter("msg", "sends", "")
+	c.obsBarriers = r.Counter("msg", "barriers", "")
+	c.obsPayload = r.Histogram("msg", "payload_bytes", "", obs.ExpBuckets(16, 4, 8))
 }
 
 // timed runs f and accounts its duration as communication time.
@@ -67,6 +82,8 @@ func (c *Comm) timed(f func()) {
 // payload on the wire (headers are added by this layer); the sender is busy
 // for the software per-message and copy costs before the hardware send.
 func (c *Comm) Send(dst, tag, payloadBytes int, payload interface{}) {
+	c.obsSends.Inc()
+	c.obsPayload.Observe(float64(payloadBytes))
 	c.timed(func() {
 		c.Node.Busy(c.SW.PerMsg + sim.Time(float64(payloadBytes)*c.SW.CopyPerByte))
 		c.Node.Send(dst, tag, payloadBytes+c.SW.HeaderBytes, payload)
@@ -124,6 +141,7 @@ const barrierTagBase = 1 << 30
 // whose measured cost appears in Table 3 (L ≈ 25500 cycles at 16 nodes).
 // All nodes must call it the same number of times.
 func (c *Comm) Barrier() {
+	c.obsBarriers.Inc()
 	tag := barrierTagBase + c.barGen
 	c.barGen++
 	c.timed(func() {
@@ -148,6 +166,7 @@ func (c *Comm) Barrier() {
 // trades message count p-1 at the root for log p rounds of parallel
 // messages; the benchmarks compare both (a Table 3 ablation).
 func (c *Comm) TreeBarrier() {
+	c.obsBarriers.Inc()
 	tag := barrierTagBase + (1 << 20) + c.barGen
 	c.barGen++
 	c.timed(func() {

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestNilSafety exercises every handle method and recorder accessor on nil
+// receivers: the disabled path must be inert, not a crash.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(3)
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.BucketCount(0) != 0 {
+		t.Error("nil histogram has observations")
+	}
+
+	var r *Recorder
+	if r.Counter("s", "n", "") != nil || r.Gauge("s", "n", "") != nil ||
+		r.Histogram("s", "n", "", ExpBuckets(1, 2, 4)) != nil {
+		t.Error("nil recorder returned non-nil handles")
+	}
+	if r.Tracing() {
+		t.Error("nil recorder claims to trace")
+	}
+	r.Span(0, 0, "c", "n", 0, 1)
+	r.NamePid(0, "x")
+	r.NameTid(0, 0, "x")
+	r.Merge(New(Config{Metrics: true}))
+	var buf bytes.Buffer
+	if err := r.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteTraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics-off recorder: constructors return nil handles too.
+	off := New(Config{})
+	if off.Counter("s", "n", "") != nil {
+		t.Error("metrics-off recorder returned a counter")
+	}
+}
+
+// TestHistogramBuckets pins the inclusive-upper-bound ("le") semantics:
+// a value equal to a bound lands in that bound's bucket, values above the
+// last bound land in overflow.
+func TestHistogramBuckets(t *testing.T) {
+	r := New(Config{Metrics: true})
+	h := r.Histogram("t", "h", "", []float64{10, 20, 40})
+
+	for _, tc := range []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {10, 0}, {10.5, 1}, {20, 1}, {21, 2}, {40, 2}, {40.01, 3}, {1e9, 3},
+	} {
+		before := h.BucketCount(tc.bucket)
+		h.Observe(tc.v)
+		if got := h.BucketCount(tc.bucket); got != before+1 {
+			t.Errorf("Observe(%v): bucket %d count %d, want %d", tc.v, tc.bucket, got, before+1)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	wantSum := 0.0 + 10 + 10.5 + 20 + 21 + 40 + 40.01 + 1e9
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.min != 0 || h.max != 1e9 {
+		t.Errorf("min/max = %v/%v, want 0/1e9", h.min, h.max)
+	}
+}
+
+func TestBucketConstructors(t *testing.T) {
+	exp := ExpBuckets(2, 4, 4)
+	want := []float64{2, 8, 32, 128}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+		}
+	}
+	lin := LinearBuckets(0, 5, 3)
+	want = []float64{0, 5, 10}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, want)
+		}
+	}
+}
+
+// TestHandleIdentity checks a key resolves to the same handle every time, so
+// instrumented code can resolve once at setup.
+func TestHandleIdentity(t *testing.T) {
+	r := New(Config{Metrics: true})
+	if r.Counter("a", "b", "x=1") != r.Counter("a", "b", "x=1") {
+		t.Error("same counter key resolved to different handles")
+	}
+	if r.Counter("a", "b", "x=1") == r.Counter("a", "b", "x=2") {
+		t.Error("different labels resolved to the same counter")
+	}
+	if r.FindCounter("a", "b", "x=1") == nil || r.FindCounter("a", "zz", "") != nil {
+		t.Error("FindCounter mismatch")
+	}
+	h := r.Histogram("a", "h", "", ExpBuckets(1, 2, 3))
+	if r.FindHistogram("a", "h", "") != h {
+		t.Error("FindHistogram returned a different handle")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(Config{Metrics: true})
+	b := New(Config{Metrics: true})
+	a.Counter("s", "c", "").Add(3)
+	b.Counter("s", "c", "").Add(4)
+	b.Counter("s", "only_b", "").Inc()
+	a.Gauge("s", "g", "").Set(10)
+	b.Gauge("s", "g", "").Set(7)
+	bounds := []float64{1, 2}
+	a.Histogram("s", "h", "", bounds).Observe(1)
+	b.Histogram("s", "h", "", bounds).Observe(5)
+
+	a.Merge(b)
+	if got := a.Counter("s", "c", "").Value(); got != 7 {
+		t.Errorf("merged counter = %d, want 7", got)
+	}
+	if got := a.Counter("s", "only_b", "").Value(); got != 1 {
+		t.Errorf("counter only in other = %d, want 1", got)
+	}
+	if got := a.Gauge("s", "g", "").Max(); got != 10 {
+		t.Errorf("merged gauge max = %d, want 10", got)
+	}
+	h := a.FindHistogram("s", "h", "")
+	if h.Count() != 2 || h.BucketCount(0) != 1 || h.BucketCount(2) != 1 {
+		t.Errorf("merged histogram: count=%d buckets=[%d %d %d]",
+			h.Count(), h.BucketCount(0), h.BucketCount(1), h.BucketCount(2))
+	}
+	if h.min != 1 || h.max != 5 {
+		t.Errorf("merged histogram min/max = %v/%v, want 1/5", h.min, h.max)
+	}
+}
+
+// TestMetricsJSON checks the snapshot is valid JSON with series sorted by
+// (subsystem, name, labels).
+func TestMetricsJSON(t *testing.T) {
+	r := New(Config{Metrics: true})
+	r.Counter("z", "c", "").Inc()
+	r.Counter("a", "c", "p=2").Inc()
+	r.Counter("a", "c", "p=1").Add(2)
+	r.Gauge("m", "g", "").Set(4)
+	r.Histogram("m", "h", "", []float64{1, 10}).Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters []struct {
+			Subsystem string `json:"subsystem"`
+			Labels    string `json:"labels"`
+			Value     uint64 `json:"value"`
+		} `json:"counters"`
+		Gauges     []json.RawMessage `json:"gauges"`
+		Histograms []struct {
+			Count   uint64 `json:"count"`
+			Buckets []struct {
+				LE    float64 `json:"le"`
+				Count uint64  `json:"count"`
+			} `json:"buckets"`
+			Overflow uint64 `json:"overflow"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(snap.Counters) != 3 || len(snap.Gauges) != 1 || len(snap.Histograms) != 1 {
+		t.Fatalf("series counts = %d/%d/%d, want 3/1/1", len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	}
+	if snap.Counters[0].Labels != "p=1" || snap.Counters[1].Labels != "p=2" || snap.Counters[2].Subsystem != "z" {
+		t.Errorf("counters not sorted by key: %+v", snap.Counters)
+	}
+	h := snap.Histograms[0]
+	if h.Count != 1 || len(h.Buckets) != 2 || h.Buckets[1].Count != 1 || h.Overflow != 0 {
+		t.Errorf("histogram snapshot wrong: %+v", h)
+	}
+}
+
+// TestSinkMergedDeterministic checks Merged folds recorders in index order
+// regardless of creation order, so parallel sweeps aggregate identically.
+func TestSinkMergedDeterministic(t *testing.T) {
+	build := func(order []int) []byte {
+		s := NewSink(Config{Metrics: true})
+		if base := s.Reserve(3); base != 0 {
+			t.Fatalf("first Reserve = %d, want 0", base)
+		}
+		for _, i := range order {
+			r := s.Recorder(i)
+			r.Counter("t", "c", "").Add(uint64(i + 1))
+			r.Histogram("t", "h", "", []float64{1, 2, 4}).Observe(float64(i))
+			r.Gauge("t", "g", "").Set(int64(10 * (i + 1)))
+		}
+		var buf bytes.Buffer
+		if err := s.Merged().WriteMetricsJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	if !bytes.Equal(a, b) {
+		t.Errorf("merged output depends on recorder creation order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSinkNil(t *testing.T) {
+	var s *Sink
+	if s.Reserve(10) != 0 {
+		t.Error("nil sink Reserve != 0")
+	}
+	if s.Recorder(3) != nil {
+		t.Error("nil sink returned a recorder")
+	}
+	if s.Merged() != nil {
+		t.Error("nil sink returned a merged recorder")
+	}
+}
+
+func TestSinkReserveBlocks(t *testing.T) {
+	s := NewSink(Config{Metrics: true})
+	if got := s.Reserve(5); got != 0 {
+		t.Fatalf("Reserve(5) = %d, want 0", got)
+	}
+	if got := s.Reserve(2); got != 5 {
+		t.Fatalf("second Reserve = %d, want 5", got)
+	}
+}

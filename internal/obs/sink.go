@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Sink hands out per-job Recorders to concurrent simulation workers and
+// merges them into one aggregate in deterministic index order, so aggregated
+// metrics and traces are byte-identical at any parallelism level.
+//
+// Index discipline: a sweep first calls Reserve(n) to claim a contiguous
+// block of indices (sweeps within one experiment run sequentially, so block
+// bases are deterministic), then each job calls Recorder(base+i) with its
+// deterministic flat index. All methods are safe on a nil *Sink, returning
+// zero values, so callers can wire a sink through unconditionally.
+type Sink struct {
+	cfg  Config
+	mu   sync.Mutex
+	recs map[int]*Recorder
+	next int
+}
+
+// NewSink creates a sink whose recorders carry the facilities cfg enables.
+func NewSink(cfg Config) *Sink {
+	return &Sink{cfg: cfg, recs: map[int]*Recorder{}}
+}
+
+// Reserve claims n consecutive recorder indices and returns the first.
+func (s *Sink) Reserve(n int) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := s.next
+	s.next += n
+	return base
+}
+
+// Recorder returns the recorder registered at idx, creating it on first
+// use. Each index must be used by at most one goroutine at a time; distinct
+// indices are safe concurrently.
+func (s *Sink) Recorder(idx int) *Recorder {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.recs[idx]
+	if r == nil {
+		r = New(s.cfg)
+		s.recs[idx] = r
+	}
+	return r
+}
+
+// Merged folds every registered recorder, in ascending index order, into a
+// fresh Recorder. Call it only after all workers have finished.
+func (s *Sink) Merged() *Recorder {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := New(s.cfg)
+	idxs := make([]int, 0, len(s.recs))
+	for i := range s.recs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		out.Merge(s.recs[i])
+	}
+	return out
+}

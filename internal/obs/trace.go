@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Arg is one key/value annotation on a span.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// TraceEvent is one complete sim-time span. Start and End are in cycles;
+// the exporter writes cycles directly into the Chrome "ts"/"dur" fields
+// (nominally microseconds), so one timeline tick reads as one cycle.
+type TraceEvent struct {
+	Name       string
+	Cat        string
+	Pid, Tid   int
+	Start, End uint64
+	Args       []Arg
+}
+
+type nameEvent struct {
+	pid, tid int
+	thread   bool // false names the process, true names the thread
+	name     string
+}
+
+// Trace buffers span and naming events for Chrome trace-event export. The
+// buffer is bounded; spans past the cap are counted in Dropped instead of
+// silently vanishing.
+type Trace struct {
+	max     int
+	events  []TraceEvent
+	names   []nameEvent
+	dropped uint64
+	nextPid int // 1 + highest pid seen, for merge remapping
+}
+
+// Tracing reports whether the recorder collects spans; use it to skip
+// span-argument construction when off.
+func (r *Recorder) Tracing() bool { return r != nil && r.trace != nil }
+
+// Span records a completed [start, end) interval on (pid, tid).
+func (r *Recorder) Span(pid, tid int, cat, name string, start, end uint64, args ...Arg) {
+	if r == nil || r.trace == nil {
+		return
+	}
+	r.trace.add(TraceEvent{Name: name, Cat: cat, Pid: pid, Tid: tid, Start: start, End: end, Args: args})
+}
+
+// NamePid labels a trace process (a Perfetto process track).
+func (r *Recorder) NamePid(pid int, name string) {
+	if r == nil || r.trace == nil {
+		return
+	}
+	r.trace.names = append(r.trace.names, nameEvent{pid: pid, name: name})
+	r.trace.notePid(pid)
+}
+
+// NameTid labels a trace thread within a process.
+func (r *Recorder) NameTid(pid, tid int, name string) {
+	if r == nil || r.trace == nil {
+		return
+	}
+	r.trace.names = append(r.trace.names, nameEvent{pid: pid, tid: tid, thread: true, name: name})
+	r.trace.notePid(pid)
+}
+
+// Spans returns the number of buffered span events.
+func (r *Recorder) Spans() int {
+	if r == nil || r.trace == nil {
+		return 0
+	}
+	return len(r.trace.events)
+}
+
+// DroppedSpans returns how many spans were discarded at the buffer cap.
+func (r *Recorder) DroppedSpans() uint64 {
+	if r == nil || r.trace == nil {
+		return 0
+	}
+	return r.trace.dropped
+}
+
+func (t *Trace) add(ev TraceEvent) {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+	t.notePid(ev.Pid)
+}
+
+func (t *Trace) notePid(pid int) {
+	if pid+1 > t.nextPid {
+		t.nextPid = pid + 1
+	}
+}
+
+// merge appends o's events with pids shifted past t's, so each merged
+// recorder appears as its own process group in the viewer.
+func (t *Trace) merge(o *Trace) {
+	base := t.nextPid
+	for _, nm := range o.names {
+		nm.pid += base
+		t.names = append(t.names, nm)
+	}
+	for _, ev := range o.events {
+		ev.Pid += base
+		t.add(ev)
+	}
+	t.dropped += o.dropped
+	if base+o.nextPid > t.nextPid {
+		t.nextPid = base + o.nextPid
+	}
+}
+
+// WriteTraceJSON writes the buffered spans in Chrome trace-event JSON
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// an object with a "traceEvents" array of metadata ("ph":"M") naming events
+// followed by complete ("ph":"X") spans. Load the file in Perfetto or
+// chrome://tracing. A recorder without tracing writes an empty trace.
+func (r *Recorder) WriteTraceJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	dropped := uint64(0)
+	if r != nil && r.trace != nil {
+		dropped = r.trace.dropped
+	}
+	fmt.Fprintf(bw, "{\n  \"displayTimeUnit\": \"ns\",\n  \"otherData\": {\"clockDomain\": \"sim-cycles\", \"droppedEvents\": %d},\n  \"traceEvents\": [", dropped)
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",")
+		}
+		first = false
+		bw.WriteString("\n    ")
+		bw.WriteString(line)
+	}
+	if r != nil && r.trace != nil {
+		for _, nm := range r.trace.names {
+			kind := "process_name"
+			if nm.thread {
+				kind = "thread_name"
+			}
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":%q,"args":{"name":%s}}`,
+				nm.pid, nm.tid, kind, strconv.Quote(nm.name)))
+		}
+		for _, ev := range r.trace.events {
+			line := fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"cat":%s,"name":%s`,
+				ev.Pid, ev.Tid, ev.Start, ev.End-ev.Start, strconv.Quote(ev.Cat), strconv.Quote(ev.Name))
+			if len(ev.Args) > 0 {
+				line += `,"args":{`
+				for i, a := range ev.Args {
+					if i > 0 {
+						line += ","
+					}
+					line += strconv.Quote(a.Key) + ":" + strconv.FormatInt(a.Val, 10)
+				}
+				line += "}"
+			}
+			emit(line + "}")
+		}
+	}
+	bw.WriteString("\n  ]\n}\n")
+	return bw.Flush()
+}

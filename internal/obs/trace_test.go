@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"testing"
+)
+
+// TestTraceJSONGolden pins the Chrome trace-event output byte-for-byte for a
+// small fixed trace: metadata naming events first, then complete ("X") spans,
+// with ts/dur in sim cycles.
+func TestTraceJSONGolden(t *testing.T) {
+	rec := New(Config{Trace: true})
+	rec.NamePid(0, "qsmlib")
+	rec.NameTid(0, 1, "node1")
+	rec.Span(0, 1, "qsmlib", "sync 0", 100, 250, Arg{Key: "phase", Val: 0}, Arg{Key: "put_words", Val: 8})
+	rec.Span(0, 1, "qsmlib", "compute", 250, 300)
+
+	var buf bytes.Buffer
+	if err := rec.WriteTraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "displayTimeUnit": "ns",
+  "otherData": {"clockDomain": "sim-cycles", "droppedEvents": 0},
+  "traceEvents": [
+    {"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"qsmlib"}},
+    {"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"node1"}},
+    {"ph":"X","pid":0,"tid":1,"ts":100,"dur":150,"cat":"qsmlib","name":"sync 0","args":{"phase":0,"put_words":8}},
+    {"ph":"X","pid":0,"tid":1,"ts":250,"dur":50,"cat":"qsmlib","name":"compute"}
+  ]
+}
+`
+	if buf.String() != want {
+		t.Errorf("trace JSON diverges from golden output.\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// chromeTrace mirrors the fields Perfetto's importer reads.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	OtherData       struct {
+		ClockDomain   string `json:"clockDomain"`
+		DroppedEvents uint64 `json:"droppedEvents"`
+	} `json:"otherData"`
+	TraceEvents []struct {
+		Ph   string                     `json:"ph"`
+		Pid  int                        `json:"pid"`
+		Tid  int                        `json:"tid"`
+		Ts   uint64                     `json:"ts"`
+		Dur  uint64                     `json:"dur"`
+		Cat  string                     `json:"cat"`
+		Name string                     `json:"name"`
+		Args map[string]json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestTraceJSONSchema checks the hand-written encoder emits JSON that a
+// standard parser accepts, with the fields the trace viewers require.
+func TestTraceJSONSchema(t *testing.T) {
+	rec := New(Config{Trace: true})
+	rec.NamePid(2, `bank "quoted"`) // exercise string escaping
+	for i := 0; i < 5; i++ {
+		rec.Span(2, i, "bank", "access", uint64(i*10), uint64(i*10+7), Arg{Key: "depth", Val: int64(i)})
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if tr.OtherData.ClockDomain != "sim-cycles" {
+		t.Errorf("clockDomain = %q", tr.OtherData.ClockDomain)
+	}
+	if len(tr.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6 (1 metadata + 5 spans)", len(tr.TraceEvents))
+	}
+	meta := tr.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "process_name" || string(meta.Args["name"]) != `"bank \"quoted\""` {
+		t.Errorf("metadata event wrong: %+v", meta)
+	}
+	for i, ev := range tr.TraceEvents[1:] {
+		if ev.Ph != "X" || ev.Pid != 2 || ev.Tid != i || ev.Ts != uint64(i*10) || ev.Dur != 7 {
+			t.Errorf("span %d wrong: %+v", i, ev)
+		}
+		if string(ev.Args["depth"]) != strconv.Itoa(i) {
+			t.Errorf("span %d args = %v", i, ev.Args)
+		}
+	}
+
+	// Empty trace (and metrics-only recorder) must still be valid JSON.
+	var empty bytes.Buffer
+	if err := New(Config{Metrics: true}).WriteTraceJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(empty.Bytes(), &tr); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, empty.String())
+	}
+}
+
+// TestTraceMergePidShift checks merged recorders keep separate process
+// groups: the child's pids are shifted past the parent's.
+func TestTraceMergePidShift(t *testing.T) {
+	a := New(Config{Trace: true})
+	a.NamePid(0, "run0")
+	a.Span(0, 0, "c", "s", 0, 1)
+	b := New(Config{Trace: true})
+	b.NamePid(0, "run1")
+	b.Span(0, 3, "c", "s", 5, 9)
+
+	a.Merge(b)
+	if a.Spans() != 2 {
+		t.Fatalf("merged span count = %d, want 2", a.Spans())
+	}
+	if got := a.trace.events[1]; got.Pid != 1 || got.Tid != 3 {
+		t.Errorf("merged span pid/tid = %d/%d, want 1/3", got.Pid, got.Tid)
+	}
+	if got := a.trace.names[1]; got.pid != 1 || got.name != "run1" {
+		t.Errorf("merged name event = %+v, want pid 1 run1", got)
+	}
+
+	// A third merge must land past the second's pids too.
+	c := New(Config{Trace: true})
+	c.Span(0, 0, "c", "s", 0, 1)
+	a.Merge(c)
+	if got := a.trace.events[2].Pid; got != 2 {
+		t.Errorf("third recorder's span pid = %d, want 2", got)
+	}
+}
+
+// TestTraceCap checks the buffer cap counts drops instead of growing or
+// discarding silently.
+func TestTraceCap(t *testing.T) {
+	rec := New(Config{Trace: true, MaxTraceEvents: 3})
+	for i := 0; i < 10; i++ {
+		rec.Span(0, 0, "c", "s", uint64(i), uint64(i+1))
+	}
+	if rec.Spans() != 3 || rec.DroppedSpans() != 7 {
+		t.Fatalf("spans/dropped = %d/%d, want 3/7", rec.Spans(), rec.DroppedSpans())
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.OtherData.DroppedEvents != 7 {
+		t.Errorf("droppedEvents = %d, want 7", tr.OtherData.DroppedEvents)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -76,6 +77,15 @@ type qctx struct {
 
 	commCycles sim.Time
 	timeline   []PhaseSpan
+
+	// Observability: nil-safe handles plus the last Sync's end time, which
+	// delimits the compute span preceding the next Sync.
+	rec           *obs.Recorder
+	obsSyncs      *obs.Counter
+	obsSyncCycles *obs.Histogram
+	obsPutWords   *obs.Histogram
+	obsGetWords   *obs.Histogram
+	lastSyncEnd   sim.Time
 }
 
 // PhaseSpan records one Sync call on one node for the timeline facility.
@@ -90,13 +100,22 @@ var _ core.Ctx = (*qctx)(nil)
 
 func newQctx(m *Machine, n *machine.Node) *qctx {
 	p := m.P()
-	return &qctx{
+	c := &qctx{
 		m:       m,
 		node:    n,
 		comm:    msg.NewComm(n, m.opts.SW),
 		outPuts: make([][]putSeg, p),
 		outReqs: make([][]getReq, p),
 	}
+	if rec := m.opts.Obs; rec != nil {
+		c.rec = rec
+		c.comm.Observe(rec)
+		c.obsSyncs = rec.Counter("qsmlib", "syncs", "")
+		c.obsSyncCycles = rec.Histogram("qsmlib", "sync_cycles", "", obs.ExpBuckets(1024, 2, 16))
+		c.obsPutWords = rec.Histogram("qsmlib", "phase_put_words", "", obs.ExpBuckets(1, 4, 12))
+		c.obsGetWords = rec.Histogram("qsmlib", "phase_get_words", "", obs.ExpBuckets(1, 4, 12))
+	}
+	return c
 }
 
 func (c *qctx) ID() int          { return c.node.ID() }
@@ -526,4 +545,20 @@ func (c *qctx) Sync() {
 	c.commCycles += c.node.Now() - t0
 	span.End = c.node.Now()
 	c.timeline = append(c.timeline, span)
+
+	c.obsSyncs.Inc()
+	c.obsSyncCycles.Observe(float64(span.End - t0))
+	c.obsPutWords.Observe(float64(span.PutWords))
+	c.obsGetWords.Observe(float64(span.GetWords))
+	if c.rec.Tracing() {
+		if t0 > c.lastSyncEnd {
+			c.rec.Span(tracePid, me, "qsmlib", "compute", uint64(c.lastSyncEnd), uint64(t0),
+				obs.Arg{Key: "phase", Val: int64(gen)})
+		}
+		c.rec.Span(tracePid, me, "qsmlib", fmt.Sprintf("sync %d", gen), uint64(t0), uint64(span.End),
+			obs.Arg{Key: "phase", Val: int64(gen)},
+			obs.Arg{Key: "put_words", Val: int64(span.PutWords)},
+			obs.Arg{Key: "get_words", Val: int64(span.GetWords)})
+	}
+	c.lastSyncEnd = span.End
 }

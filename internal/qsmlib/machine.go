@@ -19,6 +19,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/machine"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -40,7 +41,15 @@ type Options struct {
 	NaiveExchange bool
 	// Model builds each node's processor model; nil uses Table 2 analytic.
 	Model func(id int) cpu.Model
+	// Obs attaches an observability recorder to the machine, the messaging
+	// layer, and the sync protocol (superstep spans with a compute/sync
+	// split). Nil costs nothing.
+	Obs *obs.Recorder
 }
+
+// tracePid is the trace process id qsmlib supersteps render under; bsp uses
+// a different pid so both libraries can share one recorder (see ext1).
+const tracePid = 0
 
 // Machine is a simulated p-node QSM machine.
 type Machine struct {
@@ -70,6 +79,9 @@ func New(p int, opts Options) *Machine {
 	}
 	m := &Machine{opts: opts, byName: map[string]core.Handle{}}
 	m.MP = machine.New(p, opts.Net, opts.Model)
+	if opts.Obs != nil {
+		m.MP.Observe(opts.Obs)
+	}
 	return m
 }
 
@@ -84,11 +96,29 @@ func (m *Machine) G() float64 { return m.opts.Net.Gap * 8 }
 // simulation completes.
 func (m *Machine) Run(prog core.Program) error {
 	m.ctxs = make([]*qctx, m.P())
-	return m.MP.Run(m.opts.Seed, func(n *machine.Node) {
+	if rec := m.opts.Obs; rec.Tracing() {
+		rec.NamePid(tracePid, "qsmlib")
+		for i := 0; i < m.P(); i++ {
+			rec.NameTid(tracePid, i, fmt.Sprintf("node%d", i))
+		}
+	}
+	err := m.MP.Run(m.opts.Seed, func(n *machine.Node) {
 		ctx := newQctx(m, n)
 		m.ctxs[n.ID()] = ctx
 		prog(ctx)
 	})
+	if rec := m.opts.Obs; rec != nil {
+		for _, c := range m.ctxs {
+			if c == nil {
+				continue
+			}
+			rec.Counter("qsmlib", "comm_cycles", "").Add(uint64(c.commCycles))
+		}
+		for _, n := range m.MP.Nodes {
+			rec.Counter("qsmlib", "comp_cycles", "").Add(uint64(n.CompCycles))
+		}
+	}
+	return err
 }
 
 // RunProfiled executes prog with cost recording.

@@ -1,0 +1,68 @@
+package qsmlib
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestObservedSupersteps checks a run with a recorder attached reports the
+// superstep metrics and per-node sync/compute trace spans.
+func TestObservedSupersteps(t *testing.T) {
+	rec := obs.New(obs.Config{Metrics: true, Trace: true})
+	const p, syncs = 4, 3
+	m := New(p, Options{Seed: 1, Obs: rec})
+	err := m.Run(func(ctx core.Ctx) {
+		h := ctx.Register("a", p)
+		ctx.Sync()
+		ctx.Put(h, ctx.ID(), []int64{int64(ctx.ID())})
+		ctx.Sync()
+		ctx.Get(h, 0, make([]int64, 1))
+		ctx.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.FindCounter("qsmlib", "syncs", "").Value(); got != p*syncs {
+		t.Errorf("qsmlib.syncs = %d, want %d", got, p*syncs)
+	}
+	sc := rec.FindHistogram("qsmlib", "sync_cycles", "")
+	if sc.Count() != p*syncs {
+		t.Errorf("sync_cycles observations = %d, want %d", sc.Count(), p*syncs)
+	}
+	if rec.FindCounter("qsmlib", "comm_cycles", "").Value() == 0 {
+		t.Error("comm_cycles counter is zero after remote traffic")
+	}
+	if rec.FindCounter("sim", "events", "").Value() == 0 {
+		t.Error("engine events counter was not wired through Options.Obs")
+	}
+	// Each node emits one sync span per superstep, plus compute spans for the
+	// gaps between syncs.
+	if rec.Spans() < p*syncs {
+		t.Errorf("trace has %d spans, want at least %d sync spans", rec.Spans(), p*syncs)
+	}
+}
+
+// TestObservedRunUnperturbed checks attaching a recorder does not change the
+// simulated timeline.
+func TestObservedRunUnperturbed(t *testing.T) {
+	prog := func(ctx core.Ctx) {
+		h := ctx.Register("a", 8)
+		ctx.Sync()
+		ctx.Put(h, ctx.ID()*2, []int64{1, 2})
+		ctx.Sync()
+	}
+	plain := New(4, Options{Seed: 1})
+	if err := plain.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	observed := New(4, Options{Seed: 1, Obs: obs.New(obs.Config{Metrics: true, Trace: true})})
+	if err := observed.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if plain.RunStats().TotalCycles != observed.RunStats().TotalCycles {
+		t.Errorf("observed run took %d cycles, unobserved %d",
+			observed.RunStats().TotalCycles, plain.RunStats().TotalCycles)
+	}
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// MetricsFileName is the canonical per-experiment metrics file name, written
+// next to BENCH_<id>.json.
+func MetricsFileName(id string) string { return fmt.Sprintf("METRICS_%s.json", id) }
+
+// TraceFileName is the canonical per-experiment Chrome trace file name.
+func TraceFileName(id string) string { return fmt.Sprintf("TRACE_%s.json", id) }
+
+// WriteMetrics writes an experiment's aggregated metrics registry to
+// dir/METRICS_<id>.json, creating dir if needed, and returns the path.
+func WriteMetrics(dir, id string, rec *obs.Recorder) (string, error) {
+	return writeObsFile(dir, MetricsFileName(id), rec.WriteMetricsJSON)
+}
+
+// WriteTrace writes an experiment's merged span trace to dir/TRACE_<id>.json
+// in Chrome trace-event format (loadable in Perfetto or chrome://tracing),
+// creating dir if needed, and returns the path.
+func WriteTrace(dir, id string, rec *obs.Recorder) (string, error) {
+	return writeObsFile(dir, TraceFileName(id), rec.WriteTraceJSON)
+}
+
+func writeObsFile(dir, name string, write func(w io.Writer) error) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

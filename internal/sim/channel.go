@@ -74,7 +74,7 @@ func (c *Chan) Recv(p *Proc) interface{} {
 	p.checkCurrent("Chan.Recv")
 	for c.count == 0 {
 		c.waiters = append(c.waiters, p)
-		p.block()
+		p.blockOn("chan recv")
 	}
 	return c.take()
 }

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Time is a point in simulated time, in cycles.
@@ -28,8 +30,13 @@ type Time uint64
 // whole-program throughput reporting (events/sec) across parallel workers.
 var totalEvents atomic.Uint64
 
-// TotalEvents returns the number of events executed by all engines since
-// process start. Engines publish their counts when Run returns.
+// TotalEvents returns the number of events executed by all engines in this
+// process since it started. The counter is process-global and monotonic:
+// it aggregates across every engine ever run (including engines on parallel
+// experiment workers) and is never reset, so per-run readers must subtract
+// a snapshot taken before the run, as cmd/qsmbench does for BENCH_<id>.json.
+// For a single engine's count use Engine.Events. Engines publish their
+// counts when Run returns.
 func TotalEvents() uint64 { return totalEvents.Load() }
 
 // Engine is a deterministic discrete-event simulator. The zero value is not
@@ -44,6 +51,14 @@ type Engine struct {
 	current *Proc
 	stopped bool
 	nEvents uint64
+
+	// Observability hooks, nil unless Observe attached a recorder. Each is a
+	// typed handle whose methods are nil-safe, so the hot paths pay only a
+	// predictable branch when observation is off.
+	rec        *obs.Recorder
+	obsEvents  *obs.Counter
+	obsQueueHW *obs.Gauge
+	obsDwell   *obs.Histogram
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -54,8 +69,51 @@ func NewEngine() *Engine {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Events returns the number of events executed so far.
+// Events returns the number of events this engine has executed over its
+// lifetime. The counter is per-engine and monotonic: it keeps growing across
+// multiple Run calls and deliberately survives Reset, so deltas taken around
+// a Run stay valid on a reused engine. Contrast TotalEvents, which is
+// process-global.
 func (e *Engine) Events() uint64 { return e.nEvents }
+
+// Observe attaches an observability recorder: the engine reports its event
+// count, event-queue depth high-water mark, and blocked-process dwell times
+// through it. Call before Run. A nil recorder detaches the hooks; with no
+// recorder attached the engine's hot path is unchanged.
+func (e *Engine) Observe(r *obs.Recorder) {
+	e.rec = r
+	e.obsEvents = r.Counter("sim", "events", "")
+	e.obsQueueHW = r.Gauge("sim", "queue_depth", "")
+	e.obsDwell = r.Histogram("sim", "blocked_dwell_cycles", "", obs.ExpBuckets(64, 4, 10))
+}
+
+// Recorder returns the recorder attached with Observe, or nil.
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
+
+// Reset returns a finished engine to time zero so it can be reused for a
+// fresh simulation without reallocating its queue storage or event free
+// list. It panics if any spawned process has not finished: abandoning a
+// blocked process would leak its goroutine. Events() deliberately survives
+// Reset (see its doc); only the clock, queue, and process table are cleared.
+func (e *Engine) Reset() {
+	for _, p := range e.procs {
+		if !p.done {
+			panic(fmt.Sprintf("sim: Reset with process %q still blocked", p.name))
+		}
+	}
+	for {
+		ev := e.queue.popMin()
+		if ev == nil {
+			break
+		}
+		e.recycle(ev)
+	}
+	e.now = 0
+	e.seq = 0
+	e.procs = e.procs[:0]
+	e.current = nil
+	e.stopped = false
+}
 
 // newEvent takes a struct off the free list or allocates one.
 func (e *Engine) newEvent(t Time) *event {
@@ -87,6 +145,7 @@ func (e *Engine) schedule(t Time, fn func()) *event {
 	ev := e.newEvent(t)
 	ev.fn = fn
 	e.queue.push(ev)
+	e.obsQueueHW.Set(int64(e.queue.Len()))
 	return ev
 }
 
@@ -96,6 +155,7 @@ func (e *Engine) scheduleProc(t Time, p *Proc) *event {
 	ev := e.newEvent(t)
 	ev.proc = p
 	e.queue.push(ev)
+	e.obsQueueHW.Set(int64(e.queue.Len()))
 	return ev
 }
 
@@ -123,7 +183,10 @@ func (e *Engine) popEvent() *event {
 // events are left (a deadlock).
 func (e *Engine) Run() error {
 	start := e.nEvents
-	defer func() { totalEvents.Add(e.nEvents - start) }()
+	defer func() {
+		totalEvents.Add(e.nEvents - start)
+		e.obsEvents.Add(e.nEvents - start)
+	}()
 	for !e.stopped {
 		ev := e.popEvent()
 		if ev == nil {
@@ -140,18 +203,26 @@ func (e *Engine) Run() error {
 			fn()
 		}
 	}
-	var blocked []string
+	var blocked []BlockedProc
 	for _, p := range e.procs {
 		if p.err != nil {
 			return fmt.Errorf("sim: process %q failed: %v", p.name, p.err)
 		}
 		if !p.done {
-			blocked = append(blocked, p.name)
+			reason := p.waitReason
+			if reason == "" {
+				reason = "unknown"
+			}
+			blocked = append(blocked, BlockedProc{Name: p.name, Reason: reason, Since: p.blockedAt})
 		}
 	}
 	if len(blocked) > 0 && !e.stopped {
-		sort.Strings(blocked)
-		return &DeadlockError{Blocked: blocked, At: e.now}
+		sort.Slice(blocked, func(i, j int) bool { return blocked[i].Name < blocked[j].Name })
+		names := make([]string, len(blocked))
+		for i, b := range blocked {
+			names[i] = b.Name
+		}
+		return &DeadlockError{Blocked: names, Procs: blocked, At: e.now}
 	}
 	return nil
 }
@@ -160,14 +231,36 @@ func (e *Engine) Run() error {
 // are abandoned; Run returns nil.
 func (e *Engine) Stop() { e.stopped = true }
 
-// DeadlockError reports processes still blocked when the event queue drained.
+// BlockedProc describes one process stuck in a deadlock: what primitive it
+// was waiting on (captured at block time) and since when.
+type BlockedProc struct {
+	Name   string
+	Reason string // e.g. "chan recv", "signal wait", "gate acquire"
+	Since  Time
+}
+
+func (b BlockedProc) String() string {
+	return fmt.Sprintf("%s (%s since t=%d)", b.Name, b.Reason, b.Since)
+}
+
+// DeadlockError reports processes still blocked when the event queue
+// drained. Blocked lists their names; Procs carries each one's wait reason
+// and block time, both sorted by name.
 type DeadlockError struct {
 	Blocked []string
+	Procs   []BlockedProc
 	At      Time
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at t=%d: %d process(es) blocked: %v", d.At, len(d.Blocked), d.Blocked)
+	detail := d.Blocked
+	if len(d.Procs) == len(d.Blocked) {
+		detail = make([]string, len(d.Procs))
+		for i, b := range d.Procs {
+			detail[i] = b.String()
+		}
+	}
+	return fmt.Sprintf("sim: deadlock at t=%d: %d process(es) blocked: %v", d.At, len(d.Blocked), detail)
 }
 
 // runProc transfers control to p until it blocks or finishes. It must only be

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestDeadlockWaitReasons checks the error captures what each stuck process
+// was waiting on, recorded at block time, sorted by name.
+func TestDeadlockWaitReasons(t *testing.T) {
+	e := NewEngine()
+	ch := e.NewChan()
+	s := e.NewSignal()
+	g := e.NewGate(1)
+	e.Spawn("a-holder", func(p *Proc) {
+		g.Acquire(p)
+		p.Advance(10)
+		s.Wait(p) // never fired
+	})
+	e.Spawn("b-gated", func(p *Proc) {
+		p.Advance(5)
+		g.Acquire(p) // held forever by a-holder
+	})
+	e.Spawn("c-recv", func(p *Proc) {
+		p.Advance(7)
+		ch.Recv(p) // nothing ever sent
+	})
+
+	err := e.Run()
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	want := []BlockedProc{
+		{Name: "a-holder", Reason: "signal wait", Since: 10},
+		{Name: "b-gated", Reason: "gate acquire", Since: 5},
+		{Name: "c-recv", Reason: "chan recv", Since: 7},
+	}
+	if len(de.Procs) != len(want) {
+		t.Fatalf("Procs = %v, want %v", de.Procs, want)
+	}
+	for i, w := range want {
+		if de.Procs[i] != w {
+			t.Errorf("Procs[%d] = %+v, want %+v", i, de.Procs[i], w)
+		}
+	}
+	msg := err.Error()
+	for _, frag := range []string{"signal wait", "gate acquire", "chan recv", "since t=10"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error message %q missing %q", msg, frag)
+		}
+	}
+}
+
+// TestEngineObserve checks the engine reports events, queue-depth high water,
+// and blocked dwell through an attached recorder.
+func TestEngineObserve(t *testing.T) {
+	rec := obs.New(obs.Config{Metrics: true})
+	e := NewEngine()
+	e.Observe(rec)
+	if e.Recorder() != rec {
+		t.Fatal("Recorder() did not return the attached recorder")
+	}
+	s := e.NewSignal()
+	e.Spawn("waiter", func(p *Proc) { s.Wait(p) })
+	e.Spawn("firer", func(p *Proc) {
+		p.Advance(100)
+		s.Fire()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.FindCounter("sim", "events", "").Value(); got != e.Events() {
+		t.Errorf("sim.events counter = %d, want Events() = %d", got, e.Events())
+	}
+	if hw := rec.Gauge("sim", "queue_depth", "").Max(); hw < 2 {
+		t.Errorf("queue-depth high water = %d, want >= 2", hw)
+	}
+	dwell := rec.FindHistogram("sim", "blocked_dwell_cycles", "")
+	if dwell.Count() != 1 || dwell.Sum() != 100 {
+		t.Errorf("dwell histogram count/sum = %d/%v, want 1/100", dwell.Count(), dwell.Sum())
+	}
+}
+
+// TestResetReuse checks Reset returns the engine to time zero for a fresh
+// run while Events() keeps accumulating monotonically, and that the
+// observability counter tracks the reused engine across both runs.
+func TestResetReuse(t *testing.T) {
+	rec := obs.New(obs.Config{Metrics: true})
+	e := NewEngine()
+	e.Observe(rec)
+	run := func() {
+		e.Spawn("p", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Advance(10)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	first := e.Events()
+	if first == 0 {
+		t.Fatal("no events executed in first run")
+	}
+	if e.Now() == 0 {
+		t.Fatal("clock did not advance")
+	}
+	e.Reset()
+	if e.Now() != 0 {
+		t.Errorf("Now() after Reset = %d, want 0", e.Now())
+	}
+	if e.Events() != first {
+		t.Errorf("Events() after Reset = %d, want %d (survives Reset)", e.Events(), first)
+	}
+	run()
+	if e.Events() != 2*first {
+		t.Errorf("Events() after second run = %d, want %d", e.Events(), 2*first)
+	}
+	if got := rec.FindCounter("sim", "events", "").Value(); got != 2*first {
+		t.Errorf("sim.events counter = %d, want %d across both runs", got, 2*first)
+	}
+}
+
+// TestResetBlockedPanics pins Reset's refusal to abandon a blocked process
+// (which would leak its goroutine).
+func TestResetBlockedPanics(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal()
+	e.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	if err := e.Run(); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Reset with a blocked process did not panic")
+		}
+	}()
+	e.Reset()
+}

@@ -16,6 +16,13 @@ type Proc struct {
 	done   bool
 	err    error
 	rng    *rand.Rand
+
+	// waitReason names the primitive the process is blocked on ("" while
+	// runnable or merely advancing time); blockedAt is when it yielded.
+	// Together they make deadlock reports actionable and feed the engine's
+	// blocked-dwell histogram.
+	waitReason string
+	blockedAt  Time
 }
 
 // Spawn creates a process named name running fn, starting at the current
@@ -70,10 +77,24 @@ func (p *Proc) Rand() *rand.Rand { return p.rng }
 // Done reports whether the process function has returned.
 func (p *Proc) Done() bool { return p.done }
 
-// block yields control to the engine until the process is resumed.
+// block yields control to the engine until the process is resumed. Callers
+// waiting on a primitive set waitReason first (blockOn); a plain time
+// advance leaves it empty.
 func (p *Proc) block() {
+	p.blockedAt = p.e.now
 	p.e.yieldCh <- p
 	<-p.resume
+	if p.waitReason != "" {
+		p.e.obsDwell.Observe(float64(p.e.now - p.blockedAt))
+		p.waitReason = ""
+	}
+}
+
+// blockOn is block with the wait reason recorded, for the waiting
+// primitives (channel recv, signal wait, gate acquire).
+func (p *Proc) blockOn(reason string) {
+	p.waitReason = reason
+	p.block()
 }
 
 // Advance suspends the process for d cycles of simulated time.

@@ -74,7 +74,7 @@ func (g *Gate) Acquire(p *Proc) {
 	p.checkCurrent("Gate.Acquire")
 	for g.free == 0 {
 		g.waiters = append(g.waiters, p)
-		p.block()
+		p.blockOn("gate acquire")
 	}
 	g.free--
 }

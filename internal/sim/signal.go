@@ -15,7 +15,7 @@ func (e *Engine) NewSignal() *Signal { return &Signal{e: e} }
 func (s *Signal) Wait(p *Proc) {
 	p.checkCurrent("Signal.Wait")
 	s.waiters = append(s.waiters, p)
-	p.block()
+	p.blockOn("signal wait")
 }
 
 // Fire wakes all processes currently waiting, in the order they began
