@@ -6,6 +6,8 @@
 //	qsmbench -list
 //	qsmbench -exp fig2 [-runs 10] [-seed 1] [-csv] [-quick] [-parallel 8]
 //	qsmbench -all -json .          # also emit BENCH_<id>.json perf records
+//	qsmbench -cache DIR -exp fig2  # memoize results in a local store
+//	qsmbench -server URL -exp fig2 # submit to a qsmd server and poll
 //
 // Independent (sweep-point, run) simulations fan out across -parallel
 // worker goroutines (default GOMAXPROCS); tables are byte-identical to a
@@ -20,9 +22,18 @@
 // sim-time spans and writes TRACE_<id>.json Chrome trace files under DIR,
 // loadable in Perfetto. -progress logs per-sweep-point completion to stderr
 // without perturbing the deterministic result tables.
+//
+// Caching: -cache DIR memoizes results in a content-addressed store (the
+// same store cmd/qsmd serves from) keyed by experiment id, the
+// deterministic options, and the code fingerprint — rerunning an identical
+// invocation prints byte-identical tables from the cache without
+// simulating. -server URL submits each experiment to a running qsmd
+// instead of simulating locally, polling the job until it completes;
+// repeated submissions hit the server's cache.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +46,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
@@ -52,6 +65,8 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "collect metrics and write METRICS_<id>.json per experiment")
 		traceDir = flag.String("trace", "", "collect sim-time spans and write TRACE_<id>.json Chrome trace files under this directory")
 		progress = flag.Bool("progress", false, "log per-sweep-point completion to stderr")
+		cacheDir = flag.String("cache", "", "memoize results in this content-addressed store directory")
+		server   = flag.String("server", "", "submit to a qsmd server at this URL instead of simulating locally")
 	)
 	flag.Parse()
 
@@ -72,6 +87,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qsmbench: nothing to run; use -exp <id>, -all, or -list")
 		os.Exit(2)
 	}
+
+	if *server != "" {
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*csv, "-csv"}, {*metrics, "-metrics"}, {*traceDir != "", "-trace"},
+			{*jsonOut != "", "-json"}, {*cacheDir != "", "-cache"},
+		} {
+			if f.set {
+				fmt.Fprintf(os.Stderr, "qsmbench: %s is a local-run flag and cannot be combined with -server\n", f.name)
+				os.Exit(2)
+			}
+		}
+		if err := runRemote(*server, ids, *seed, *runs, *quick, *progress); err != nil {
+			fmt.Fprintf(os.Stderr, "qsmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var st *store.Store
+	var fingerprint string
+	if *cacheDir != "" {
+		if *csv || *traceDir != "" {
+			fmt.Fprintln(os.Stderr, "qsmbench: -cache stores rendered tables and metrics only; it cannot be combined with -csv or -trace")
+			os.Exit(2)
+		}
+		var err error
+		if st, err = store.Open(*cacheDir, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "qsmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fingerprint = store.Fingerprint()
+	}
+
 	effPar := *parallel
 	if effPar <= 0 {
 		effPar = runtime.GOMAXPROCS(0)
@@ -90,13 +141,24 @@ func main() {
 	var recs []report.BenchRecord
 	for _, id := range ids {
 		opt := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick, Parallelism: *parallel}
+		if *progress {
+			opt.Progress = progressLogger(id)
+		}
+
+		if st != nil {
+			rec, err := runCached(st, fingerprint, id, opt, *metrics, metricsDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qsmbench: %v\n", err)
+				os.Exit(1)
+			}
+			recs = append(recs, rec)
+			continue
+		}
+
 		var sink *obs.Sink
 		if *metrics || *traceDir != "" {
 			sink = obs.NewSink(obs.Config{Metrics: *metrics, Trace: *traceDir != ""})
 			opt.Obs = sink
-		}
-		if *progress {
-			opt.Progress = progressLogger(id)
 		}
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
@@ -161,6 +223,147 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", strings.Join(files, ", "))
 	}
+}
+
+// runCached serves one experiment through the content-addressed store:
+// identical reruns print byte-identical tables from the cache without
+// simulating, and concurrent identical invocations in one process share a
+// single simulation.
+func runCached(st *store.Store, fingerprint, id string, opt experiments.Options, metrics bool, metricsDir string) (report.BenchRecord, error) {
+	key := store.ResultKey(id, opt.Key(), fingerprint)
+	t0 := time.Now()
+	entry, hit, err := st.GetOrCompute(key, func() (*store.Entry, error) {
+		return computeEntry(fingerprint, key, id, opt, metrics)
+	})
+	if err != nil {
+		return report.BenchRecord{}, err
+	}
+	fmt.Print(entry.Tables)
+	if metrics && entry.Metrics != nil {
+		f, err := report.WriteMetricsRaw(metricsDir, id, entry.Metrics)
+		if err != nil {
+			return report.BenchRecord{}, fmt.Errorf("writing metrics: %w", err)
+		}
+		fmt.Printf("wrote %s\n", f)
+	}
+	rec := report.BenchRecord{ID: id}
+	if entry.Bench != nil {
+		rec = *entry.Bench
+	}
+	if hit {
+		fmt.Printf("[%s cache hit in %.3fs, key %s, original run %.1fs]\n\n",
+			id, time.Since(t0).Seconds(), shortKey(key), rec.WallSeconds)
+	} else {
+		fmt.Printf("[%s completed in %.1fs, %.2gM sim events, %.3g events/sec; cached as %s]\n\n",
+			id, rec.WallSeconds, float64(rec.SimEvents)/1e6, rec.EventsPerSec, shortKey(key))
+	}
+	return rec, nil
+}
+
+// computeEntry is the cache-miss path of runCached: run the experiment and
+// package its tables, bench record, and (optionally) metrics as the store
+// entry.
+func computeEntry(fingerprint, key, id string, opt experiments.Options, metrics bool) (*store.Entry, error) {
+	var sink *obs.Sink
+	if metrics {
+		sink = obs.NewSink(obs.Config{Metrics: true})
+		opt.Obs = sink
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	ev0 := sim.TotalEvents()
+	t0 := time.Now()
+	r, err := experiments.Run(id, opt)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0)
+	ev1 := sim.TotalEvents()
+	runtime.ReadMemStats(&m1)
+	effPar := opt.Parallelism
+	if effPar <= 0 {
+		effPar = runtime.GOMAXPROCS(0)
+	}
+	bench := report.BenchRecord{
+		ID:          id,
+		Title:       experiments.Title(id),
+		Seed:        opt.Seed,
+		Runs:        opt.Runs,
+		Quick:       opt.Quick,
+		Parallelism: effPar,
+		WallSeconds: wall.Seconds(),
+		SimEvents:   ev1 - ev0,
+		AllocBytes:  m1.TotalAlloc - m0.TotalAlloc,
+		Allocs:      m1.Mallocs - m0.Mallocs,
+	}
+	bench.Finish()
+	entry := &store.Entry{
+		Key:         key,
+		Experiment:  id,
+		Title:       r.Title,
+		Options:     opt.Key(),
+		Fingerprint: fingerprint,
+		Tables:      r.String(),
+		Bench:       &bench,
+		CreatedAt:   time.Now().UTC(),
+	}
+	if sink != nil {
+		var b strings.Builder
+		if err := sink.Merged().WriteMetricsJSON(&b); err == nil {
+			entry.Metrics = []byte(b.String())
+		}
+	}
+	return entry, nil
+}
+
+// runRemote submits each experiment to a qsmd server, polls the job to
+// completion, and prints the cached tables.
+func runRemote(baseURL string, ids []string, seed int64, runs int, quick, progress bool) error {
+	c := &service.Client{BaseURL: baseURL}
+	ctx := context.Background()
+	for _, id := range ids {
+		js, err := c.Submit(ctx, service.SubmitRequest{Experiment: id, Seed: seed, Runs: runs, Quick: quick})
+		if err != nil {
+			return err
+		}
+		if js.State != service.StateDone && js.State != service.StateFailed {
+			var onPoll func(service.JobStatus)
+			if progress {
+				var last int
+				onPoll = func(p service.JobStatus) {
+					if p.Progress.Done != last {
+						last = p.Progress.Done
+						fmt.Fprintf(os.Stderr, "qsmbench: %s: %s, %d jobs done (%.1fs elapsed)\n",
+							id, p.ID, p.Progress.Done, p.ElapsedSeconds)
+					}
+				}
+			}
+			if js, err = c.Wait(ctx, js.ID, 200*time.Millisecond, onPoll); err != nil {
+				return err
+			}
+		}
+		if js.State == service.StateFailed {
+			return fmt.Errorf("%s: job %s failed: %s", id, js.ID, js.Error)
+		}
+		entry, err := c.Result(ctx, js.ResultKey)
+		if err != nil {
+			return err
+		}
+		fmt.Print(entry.Tables)
+		served := "computed by server"
+		if js.Cached {
+			served = "server cache hit"
+		}
+		fmt.Printf("[%s %s in %.1fs, key %s]\n\n", id, served, js.ElapsedSeconds, shortKey(js.ResultKey))
+	}
+	return nil
+}
+
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12] + "…"
+	}
+	return k
 }
 
 // progressLogger returns an experiments.Progress callback that logs each

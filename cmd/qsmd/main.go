@@ -1,0 +1,98 @@
+// Command qsmd serves the paper's experiments over HTTP: a job scheduler
+// with a bounded admission queue in front of the parallel experiment
+// runner, memoized through a content-addressed result cache. Identical
+// submissions (same experiment id, keyed options, and code fingerprint) are
+// served from the cache without re-simulating; concurrent identical
+// submissions share one simulation.
+//
+// Usage:
+//
+//	qsmd [-addr 127.0.0.1:8344] [-cache qsmd-cache] [-queue 64]
+//	     [-workers 2] [-parallel 0] [-lru 128] [-drain 60s]
+//
+// API:
+//
+//	POST   /v1/jobs          {"experiment":"fig7","seed":1,"runs":2,"quick":true}
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}     job status (queued → running → done/failed)
+//	DELETE /v1/jobs/{id}     cancel a job
+//	GET    /v1/results/{key} cached result (tables + bench + metrics JSON)
+//	GET    /healthz          liveness and drain state
+//	GET    /metricsz         metrics registry as Prometheus text
+//
+// On SIGTERM/SIGINT the server stops accepting HTTP, drains queued and
+// in-flight jobs (cancelling them through their contexts if -drain expires)
+// and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8344", "listen address")
+		cacheDir = flag.String("cache", "qsmd-cache", "result cache directory")
+		queueCap = flag.Int("queue", 64, "submission queue capacity (excess submissions get 429)")
+		workers  = flag.Int("workers", 2, "jobs simulated concurrently")
+		parallel = flag.Int("parallel", 0, "worker goroutines per simulation sweep (0 = GOMAXPROCS)")
+		lru      = flag.Int("lru", store.DefaultMaxMem, "in-memory LRU entry bound in front of the disk cache")
+		drain    = flag.Duration("drain", 60*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
+	)
+	flag.Parse()
+	log.SetPrefix("qsmd: ")
+	log.SetFlags(log.LstdFlags)
+
+	st, err := store.Open(*cacheDir, *lru)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := service.New(service.Config{
+		Store:          st,
+		QueueCap:       *queueCap,
+		Workers:        *workers,
+		SimParallelism: *parallel,
+		CollectMetrics: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: sched.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("signal received, shutting down HTTP")
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("listening on %s (cache %s, queue %d, workers %d, fingerprint %s)",
+		*addr, st.Dir(), *queueCap, *workers, sched.Fingerprint())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := sched.Drain(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

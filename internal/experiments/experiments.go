@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -40,6 +41,11 @@ type Options struct {
 	// job with the sweep's progress so far. It may be called concurrently
 	// from worker goroutines; the callback must be safe for that.
 	Progress func(Progress)
+	// Context, when non-nil, cancels an in-progress experiment: the runner
+	// checks it before starting each (point, run) job, and Run returns the
+	// context's error instead of a Result. Already-started simulations run
+	// to completion; cancellation takes effect at job granularity.
+	Context context.Context
 }
 
 // Progress reports one completed job of a sweep.
@@ -63,6 +69,38 @@ func (o Options) parallelism() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
+}
+
+// OptionsKey is the plain-data view of Options a result cache may key on:
+// exactly the fields that determine an experiment's output. Execution-shape
+// fields are deliberately excluded — Progress, Obs, and Context cannot be
+// encoded, and Parallelism must not be (tables are byte-identical at any
+// setting). TestOptionsKeyCoversOptions pins both the canonical JSON and the
+// keyed/excluded field partition, so adding a field to Options without
+// deciding its cache behaviour is a test failure, not silent key drift.
+type OptionsKey struct {
+	Seed  int64 `json:"seed"`
+	Runs  int   `json:"runs"`
+	Quick bool  `json:"quick"`
+}
+
+// Key returns the cache-keyable view of o. Runs is normalised through the
+// same default the runner applies, so Options{} and Options{Runs: 5} key
+// identically.
+func (o Options) Key() OptionsKey {
+	return OptionsKey{Seed: o.Seed, Runs: o.runs(), Quick: o.Quick}
+}
+
+// Options reconstructs an Options carrying exactly the keyed fields.
+func (k OptionsKey) Options() Options {
+	return Options{Seed: k.Seed, Runs: k.Runs, Quick: k.Quick}
 }
 
 // Result is an experiment's output.
@@ -92,6 +130,23 @@ func register(id, title string, run func(Options) (*Result, error)) {
 	registry[id] = driver{title: title, run: run}
 }
 
+// Register adds an experiment driver under id. The paper's drivers ship
+// registered at init time; the hook is exported so embedding code and tests
+// can serve custom experiments through the same runner, cache, and service
+// tooling. Registering a duplicate id panics.
+func Register(id, title string, run func(Options) (*Result, error)) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate registration of %q", id))
+	}
+	register(id, title, run)
+}
+
+// Known reports whether id names a registered experiment.
+func Known(id string) bool {
+	_, ok := registry[id]
+	return ok
+}
+
 // IDs lists the registered experiment identifiers in order.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
@@ -105,11 +160,24 @@ func IDs() []string {
 // Title returns an experiment's description.
 func Title(id string) string { return registry[id].title }
 
-// Run executes the experiment with the given id.
-func Run(id string, opt Options) (*Result, error) {
+// Run executes the experiment with the given id. If opt.Context is
+// cancelled mid-sweep, the unwind is caught here and Run returns the
+// context's error.
+func Run(id string, opt Options) (res *Result, err error) {
 	d, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if c, ok := cancelCause(r); ok {
+			res, err = nil, c
+			return
+		}
+		panic(r)
+	}()
 	return d.run(opt)
 }

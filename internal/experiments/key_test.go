@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestOptionsKeyCoversOptions is the drift guard for cache keys: every field
+// of Options must be either represented in OptionsKey or explicitly listed
+// as excluded. Growing Options without deciding the new field's cache
+// behaviour fails here instead of silently changing (or failing to change)
+// content addresses.
+func TestOptionsKeyCoversOptions(t *testing.T) {
+	keyed := map[string]bool{"Seed": true, "Runs": true, "Quick": true}
+	excluded := map[string]bool{
+		// Execution shape only; results are byte-identical at any setting.
+		"Parallelism": true,
+		// Unencodable observers/control, with no effect on result tables.
+		"Obs":      true,
+		"Progress": true,
+		"Context":  true,
+	}
+	rt := reflect.TypeOf(Options{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if keyed[name] && excluded[name] {
+			t.Errorf("Options.%s is both keyed and excluded", name)
+		}
+		if !keyed[name] && !excluded[name] {
+			t.Errorf("Options.%s is neither mirrored in OptionsKey nor in the exclusion list; decide its cache behaviour (and update the canonical-JSON pin) before shipping it", name)
+		}
+	}
+	kt := reflect.TypeOf(OptionsKey{})
+	if kt.NumField() != len(keyed) {
+		t.Errorf("OptionsKey has %d fields, want %d (keep the keyed set in sync)", kt.NumField(), len(keyed))
+	}
+}
+
+// TestOptionsKeyCanonicalJSON pins the canonical encoding content addresses
+// are hashed over. Changing this encoding invalidates every existing cache
+// entry; do it deliberately.
+func TestOptionsKeyCanonicalJSON(t *testing.T) {
+	opt := Options{
+		Seed:        7,
+		Runs:        3,
+		Quick:       true,
+		Parallelism: 9,
+		Progress:    func(Progress) {},
+		Context:     context.Background(),
+	}
+	b, err := json.Marshal(opt.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"seed":7,"runs":3,"quick":true}`
+	if string(b) != want {
+		t.Errorf("canonical OptionsKey JSON = %s, want %s", b, want)
+	}
+}
+
+func TestOptionsKeyNormalisesRuns(t *testing.T) {
+	if (Options{}).Key() != (Options{Runs: 5}).Key() {
+		t.Errorf("Options{} and Options{Runs: 5} key differently: %+v vs %+v",
+			(Options{}).Key(), (Options{Runs: 5}).Key())
+	}
+}
+
+func TestOptionsKeyRoundTrip(t *testing.T) {
+	k := Options{Seed: 42, Runs: 10, Quick: true}.Key()
+	if got := k.Options().Key(); got != k {
+		t.Errorf("Key().Options().Key() = %+v, want %+v", got, k)
+	}
+}
+
+// TestRunCancellation checks that a cancelled Options.Context surfaces as an
+// error from Run — on both the serial and the pooled runner path — instead
+// of unwinding as a panic.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		_, err := Run("fig7", Options{Seed: 1, Runs: 1, Quick: true, Parallelism: par, Context: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallelism %d: Run with cancelled context returned %v, want context.Canceled", par, err)
+		}
+	}
+}

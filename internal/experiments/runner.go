@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,12 +19,45 @@ import (
 // step sees results in exactly the order the serial loop produced them —
 // the rendered tables are byte-identical at any parallelism level.
 
+// workerPanic carries a worker's panic value together with the goroutine
+// stack captured at recover time, so a simulation failing under -parallel
+// reports where it died rather than just the panic message. It implements
+// error, so an unrecovered re-raise prints the original value followed by
+// the worker's stack.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+func (p *workerPanic) Error() string {
+	return fmt.Sprintf("%v\n\nworker stack:\n%s", p.val, p.stack)
+}
+
+// sweepCancelled is the sentinel panic the runner raises when
+// Options.Context is cancelled; Run converts it back into an error.
+type sweepCancelled struct{ err error }
+
+// cancelCause unwraps a recovered panic value to the context error behind a
+// runner-raised cancellation, from either the serial path (raised directly)
+// or a worker pool (wrapped in workerPanic).
+func cancelCause(r any) (error, bool) {
+	switch v := r.(type) {
+	case *sweepCancelled:
+		return v.err, true
+	case *workerPanic:
+		if c, ok := v.val.(*sweepCancelled); ok {
+			return c.err, true
+		}
+	}
+	return nil, false
+}
+
 // parMap runs fn for every index in [0, n) across a pool of par workers and
 // returns the results in index order. fn must be safe to call concurrently
 // and deterministic in its argument; simulator state must be local to the
-// call. A panic in any job is captured and re-raised in the caller after all
-// workers drain, so a failing simulation reports the same way it does
-// serially.
+// call. A panic in any job is captured — together with the worker's stack —
+// and re-raised in the caller after all workers drain, so a failing
+// simulation reports the same way it does serially.
 func parMap[T any](par, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	if par > n {
@@ -46,7 +80,7 @@ func parMap[T any](par, n int, fn func(i int) T) []T {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+					panicked.CompareAndSwap(nil, &workerPanic{val: r, stack: debug.Stack()})
 				}
 			}()
 			for {
@@ -113,6 +147,9 @@ func sweepRuns[T any](opt Options, points, runs int, fn func(point, run int, rec
 	base := opt.Obs.Reserve(points * runs)
 	pt := newProgressTracker(opt, points, runs)
 	flat := parMap(opt.parallelism(), points*runs, func(i int) T {
+		if err := opt.ctxErr(); err != nil {
+			panic(&sweepCancelled{err})
+		}
 		v := fn(i/runs, i%runs, opt.Obs.Recorder(base+i))
 		pt.jobDone(i / runs)
 		return v
@@ -130,6 +167,9 @@ func sweepPoints[T any](opt Options, points int, fn func(point int, rec *obs.Rec
 	base := opt.Obs.Reserve(points)
 	pt := newProgressTracker(opt, points, 1)
 	return parMap(opt.parallelism(), points, func(i int) T {
+		if err := opt.ctxErr(); err != nil {
+			panic(&sweepCancelled{err})
+		}
 		v := fn(i, opt.Obs.Recorder(base+i))
 		pt.jobDone(i)
 		return v

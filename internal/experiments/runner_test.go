@@ -29,8 +29,22 @@ func TestParMapEmpty(t *testing.T) {
 
 func TestParMapPanicPropagates(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Error("panic in a parallel job was swallowed")
+		r := recover()
+		if r == nil {
+			t.Fatal("panic in a parallel job was swallowed")
+		}
+		wp, ok := r.(*workerPanic)
+		if !ok {
+			t.Fatalf("re-raised panic is %T, want *workerPanic", r)
+		}
+		msg := wp.Error()
+		if !strings.Contains(msg, "job failure") {
+			t.Errorf("re-raised panic lost the original value: %q", msg)
+		}
+		// The worker's stack must survive the re-raise so a failing
+		// simulation under -parallel is debuggable.
+		if !strings.Contains(msg, "worker stack:") || !strings.Contains(msg, "runner_test.go") {
+			t.Errorf("re-raised panic carries no usable worker stack:\n%s", msg)
 		}
 	}()
 	parMap(4, 16, func(i int) int {

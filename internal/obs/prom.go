@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheusText dumps the registry in the Prometheus text exposition
+// format (version 0.0.4), the format /metricsz serves. Series render as
+// qsm_<subsystem>_<name> with the flat "k=v,k=v" label string expanded to
+// {k="v",...}: counters gain the conventional _total suffix, gauges emit
+// their current value plus a _max family for the high-water mark, and
+// histograms emit cumulative _bucket series (with a closing +Inf bound)
+// alongside _sum and _count. Output is sorted by key, so scrapes of equal
+// registries are byte-identical. A nil or metrics-less recorder writes
+// nothing.
+func (r *Recorder) WritePrometheusText(w io.Writer) error {
+	if r == nil || r.reg == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	reg := r.reg
+
+	counterKeys := sortedKeys(len(reg.counters), func(add func(Key)) {
+		for k := range reg.counters {
+			add(k)
+		}
+	})
+	eachFamily(counterKeys, func(fam []Key) {
+		name := promName(fam[0], "_total")
+		promType(bw, name, "counter")
+		for _, k := range fam {
+			promLine(bw, name, promLabels(k.Labels), strconv.FormatUint(reg.counters[k].v, 10))
+		}
+	})
+
+	gaugeKeys := sortedKeys(len(reg.gauges), func(add func(Key)) {
+		for k := range reg.gauges {
+			add(k)
+		}
+	})
+	eachFamily(gaugeKeys, func(fam []Key) {
+		name := promName(fam[0], "")
+		promType(bw, name, "gauge")
+		for _, k := range fam {
+			promLine(bw, name, promLabels(k.Labels), strconv.FormatInt(reg.gauges[k].v, 10))
+		}
+		promType(bw, name+"_max", "gauge")
+		for _, k := range fam {
+			promLine(bw, name+"_max", promLabels(k.Labels), strconv.FormatInt(reg.gauges[k].max, 10))
+		}
+	})
+
+	histKeys := sortedKeys(len(reg.hists), func(add func(Key)) {
+		for k := range reg.hists {
+			add(k)
+		}
+	})
+	eachFamily(histKeys, func(fam []Key) {
+		name := promName(fam[0], "")
+		promType(bw, name, "histogram")
+		for _, k := range fam {
+			h := reg.hists[k]
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				promLine(bw, name+"_bucket", promLabels(k.Labels, "le", formatFloat(b)), strconv.FormatUint(cum, 10))
+			}
+			promLine(bw, name+"_bucket", promLabels(k.Labels, "le", "+Inf"), strconv.FormatUint(h.n, 10))
+			promLine(bw, name+"_sum", promLabels(k.Labels), formatFloat(h.sum))
+			promLine(bw, name+"_count", promLabels(k.Labels), strconv.FormatUint(h.n, 10))
+		}
+	})
+	return bw.Flush()
+}
+
+// eachFamily calls fn once per run of keys sharing (subsystem, name). keys
+// must already be sorted, as sortedKeys returns them.
+func eachFamily(keys []Key, fn func(fam []Key)) {
+	for i := 0; i < len(keys); {
+		j := i
+		for j < len(keys) && keys[j].Subsystem == keys[i].Subsystem && keys[j].Name == keys[i].Name {
+			j++
+		}
+		fn(keys[i:j])
+		i = j
+	}
+}
+
+func promType(w io.Writer, name, typ string) {
+	io.WriteString(w, "# TYPE "+name+" "+typ+"\n")
+}
+
+func promLine(w io.Writer, name, labels, value string) {
+	io.WriteString(w, name+labels+" "+value+"\n")
+}
+
+// promName renders a series key as a Prometheus metric name with the given
+// suffix, sanitising characters the format forbids.
+func promName(k Key, suffix string) string {
+	return "qsm_" + sanitizeName(k.Subsystem) + "_" + sanitizeName(k.Name) + suffix
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels expands the registry's flat "k=v,k=v" label string (plus an
+// optional extra pair, used for histogram le bounds) into {k="v",...};
+// empty labels render as nothing.
+func promLabels(flat string, extra ...string) string {
+	var pairs []string
+	if flat != "" {
+		for _, kv := range strings.Split(flat, ",") {
+			k, v, _ := strings.Cut(kv, "=")
+			pairs = append(pairs, sanitizeName(k)+`="`+escapeLabel(v)+`"`)
+		}
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		pairs = append(pairs, sanitizeName(extra[i])+`="`+escapeLabel(extra[i+1])+`"`)
+	}
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusText(t *testing.T) {
+	r := New(Config{Metrics: true})
+	r.Counter("service", "jobs_submitted", "").Add(3)
+	r.Counter("membank", "accesses", "bank=1").Add(5)
+	r.Counter("membank", "accesses", "bank=2").Add(7)
+	g := r.Gauge("service", "queue_depth", "")
+	g.Set(2)
+	g.Set(1)
+	h := r.Histogram("service", "latency", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(64)
+
+	var b strings.Builder
+	if err := r.WritePrometheusText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE qsm_membank_accesses_total counter
+qsm_membank_accesses_total{bank="1"} 5
+qsm_membank_accesses_total{bank="2"} 7
+# TYPE qsm_service_jobs_submitted_total counter
+qsm_service_jobs_submitted_total 3
+# TYPE qsm_service_queue_depth gauge
+qsm_service_queue_depth 1
+# TYPE qsm_service_queue_depth_max gauge
+qsm_service_queue_depth_max 2
+# TYPE qsm_service_latency histogram
+qsm_service_latency_bucket{le="1"} 1
+qsm_service_latency_bucket{le="10"} 2
+qsm_service_latency_bucket{le="+Inf"} 3
+qsm_service_latency_sum 66.5
+qsm_service_latency_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("Prometheus dump mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusTextNilSafe(t *testing.T) {
+	var nilRec *Recorder
+	var b strings.Builder
+	if err := nilRec.WritePrometheusText(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil recorder wrote %q, err %v", b.String(), err)
+	}
+	off := New(Config{})
+	if err := off.WritePrometheusText(&b); err != nil || b.Len() != 0 {
+		t.Errorf("metrics-less recorder wrote %q, err %v", b.String(), err)
+	}
+}
+
+func TestPromSanitise(t *testing.T) {
+	r := New(Config{Metrics: true})
+	r.Counter("sim-core", "events/sec", `kind=a"b`).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheusText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"qsm_sim_core_events_sec_total",
+		`kind="a\"b"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dump missing %q:\n%s", want, got)
+		}
+	}
+}

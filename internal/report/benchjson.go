@@ -3,6 +3,7 @@ package report
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,7 +48,10 @@ func WriteBench(path string, recs []BenchRecord) ([]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		if _, err := writeObsFile(filepath.Dir(path), filepath.Base(path), func(w io.Writer) error {
+			_, werr := w.Write(append(data, '\n'))
+			return werr
+		}); err != nil {
 			return nil, err
 		}
 		return []string{path}, nil
@@ -61,8 +65,11 @@ func WriteBench(path string, recs []BenchRecord) ([]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		f := filepath.Join(path, BenchFileName(r.ID))
-		if err := os.WriteFile(f, append(data, '\n'), 0o644); err != nil {
+		f, err := writeObsFile(path, BenchFileName(r.ID), func(w io.Writer) error {
+			_, werr := w.Write(append(data, '\n'))
+			return werr
+		})
+		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// unwritableDir returns a path that cannot be created because its parent is
+// a regular file. Unlike permission bits, this blocks even a root test
+// process, so the error paths exercise identically everywhere.
+func unwritableDir(t *testing.T) (base, dir string) {
+	t.Helper()
+	base = t.TempDir()
+	blocker := filepath.Join(base, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return base, filepath.Join(blocker, "sub")
+}
+
+// assertNoStray fails if anything beyond the blocker file exists under
+// base — i.e. if a failed write left a partial or temp file behind.
+func assertNoStray(t *testing.T, base string) {
+	t.Helper()
+	ents, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "blocker" {
+			t.Errorf("failed write left %q behind", e.Name())
+		}
+	}
+}
+
+func TestWriteMetricsUnwritableDir(t *testing.T) {
+	base, dir := unwritableDir(t)
+	rec := obs.New(obs.Config{Metrics: true})
+	if _, err := WriteMetrics(dir, "fig7", rec); err == nil {
+		t.Error("WriteMetrics into an unwritable directory returned nil error")
+	}
+	assertNoStray(t, base)
+}
+
+func TestWriteTraceUnwritableDir(t *testing.T) {
+	base, dir := unwritableDir(t)
+	rec := obs.New(obs.Config{Trace: true})
+	if _, err := WriteTrace(dir, "fig7", rec); err == nil {
+		t.Error("WriteTrace into an unwritable directory returned nil error")
+	}
+	assertNoStray(t, base)
+}
+
+func TestWriteBenchUnwritableDir(t *testing.T) {
+	recs := []BenchRecord{{ID: "fig7"}}
+	base, dir := unwritableDir(t)
+	if _, err := WriteBench(dir, recs); err == nil {
+		t.Error("WriteBench into an unwritable directory returned nil error")
+	}
+	assertNoStray(t, base)
+
+	// Combined single-file mode under the same unwritable parent.
+	base2, dir2 := unwritableDir(t)
+	if _, err := WriteBench(filepath.Join(dir2, "all.json"), recs); err == nil {
+		t.Error("WriteBench to an unwritable combined file returned nil error")
+	}
+	assertNoStray(t, base2)
+}
+
+// TestWriteObsFileFailedWriteLeavesNothing drives the streaming writer
+// itself into a mid-write failure: the temp file must be cleaned up and the
+// destination must not exist.
+func TestWriteObsFileFailedWriteLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("encoder failure")
+	if _, err := writeObsFile(dir, "OUT.json", func(w io.Writer) error {
+		if _, werr := io.WriteString(w, "partial"); werr != nil {
+			return werr
+		}
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("writeObsFile error = %v, want %v", err, boom)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("failed write left files behind: %v", ents)
+	}
+}
+
+// TestWriteObsFileAtomicReplace checks a successful write lands complete
+// under the final name with no temp residue.
+func TestWriteObsFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path, err := writeObsFile(dir, "OUT.json", func(w io.Writer) error {
+		_, werr := io.WriteString(w, "{}\n")
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "{}\n" {
+		t.Errorf("read back %q, err %v", data, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Errorf("directory holds %d entries, want only the final file", len(ents))
+	}
+}

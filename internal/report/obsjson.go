@@ -22,6 +22,16 @@ func WriteMetrics(dir, id string, rec *obs.Recorder) (string, error) {
 	return writeObsFile(dir, MetricsFileName(id), rec.WriteMetricsJSON)
 }
 
+// WriteMetricsRaw writes pre-rendered METRICS JSON — as cached in a result
+// store entry — to dir/METRICS_<id>.json, creating dir if needed, and
+// returns the path.
+func WriteMetricsRaw(dir, id string, data []byte) (string, error) {
+	return writeObsFile(dir, MetricsFileName(id), func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
 // WriteTrace writes an experiment's merged span trace to dir/TRACE_<id>.json
 // in Chrome trace-event format (loadable in Perfetto or chrome://tracing),
 // creating dir if needed, and returns the path.
@@ -29,18 +39,30 @@ func WriteTrace(dir, id string, rec *obs.Recorder) (string, error) {
 	return writeObsFile(dir, TraceFileName(id), rec.WriteTraceJSON)
 }
 
+// writeObsFile streams write into dir/name via a same-directory temp file
+// and rename, so a failed or interrupted write leaves no partial file
+// behind and readers never observe a half-written one.
 func writeObsFile(dir, name string, write func(w io.Writer) error) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
 	path := filepath.Join(dir, name)
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return "", err
 	}
 	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(f.Name())
 		return "", err
 	}
-	return path, f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	return path, nil
 }

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Client talks to a qsmd server; qsmbench -server is built on it.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// do issues one request and decodes the JSON response into out, converting
+// {"error": ...} bodies on non-2xx statuses into errors.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("qsmd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("qsmd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit posts one job.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobStatus, error) {
+	var js JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &js)
+	return js, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var js JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &js)
+	return js, err
+}
+
+// Result fetches a cached result entry by content address.
+func (c *Client) Result(ctx context.Context, key string) (*store.Entry, error) {
+	var e store.Entry
+	if err := c.do(ctx, http.MethodGet, "/v1/results/"+url.PathEscape(key), nil, &e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil)
+}
+
+// Wait polls a job at the given interval until it reaches a terminal state
+// (done or failed), calling onPoll (when non-nil) with each observed
+// status. It returns the terminal status; reaching a terminal state is not
+// an error even when the job failed.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration, onPoll func(JobStatus)) (JobStatus, error) {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		js, err := c.Job(ctx, id)
+		if err != nil {
+			return js, err
+		}
+		if onPoll != nil {
+			onPoll(js)
+		}
+		if js.State == StateDone || js.State == StateFailed {
+			return js, nil
+		}
+		select {
+		case <-ctx.Done():
+			return js, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

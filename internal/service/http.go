@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/experiments"
+	"repro/internal/store"
+)
+
+// The HTTP API cmd/qsmd serves:
+//
+//	POST   /v1/jobs          submit {"experiment","seed","runs","quick"}
+//	GET    /v1/jobs          list job statuses
+//	GET    /v1/jobs/{id}     one job's status
+//	DELETE /v1/jobs/{id}     cancel a job
+//	GET    /v1/results/{key} a cached result entry by content address
+//	GET    /healthz          liveness + drain state
+//	GET    /metricsz         obs registry as Prometheus text
+//
+// Errors are {"error": "..."} with 400 (bad request/unknown experiment),
+// 404 (no such job/result), 429 (queue full), or 503 (draining).
+
+// SubmitRequest is the POST /v1/jobs body. Zero-valued fields take the
+// same defaults the CLI uses (seed 0, 5 runs, full sweeps).
+type SubmitRequest struct {
+	Experiment string `json:"experiment"`
+	Seed       int64  `json:"seed"`
+	Runs       int    `json:"runs"`
+	Quick      bool   `json:"quick"`
+}
+
+// Key reduces the request to the deterministic options view jobs are keyed
+// on.
+func (r SubmitRequest) Key() experiments.OptionsKey {
+	return experiments.Options{Seed: r.Seed, Runs: r.Runs, Quick: r.Quick}.Key()
+}
+
+// Handler returns the scheduler's HTTP API.
+func (s *Scheduler) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleGetResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	js, err := s.Submit(Request{Experiment: req.Experiment, Options: req.Key()})
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrUnknownExperiment):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		var full *QueueFullError
+		if errors.As(err, &full) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// An admission-time cache hit is already complete; a queued job is
+	// accepted for asynchronous execution.
+	code := http.StatusAccepted
+	if js.State == StateDone {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, js)
+}
+
+func (s *Scheduler) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Scheduler) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, js)
+}
+
+func (s *Scheduler) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Cancel(id) {
+		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "cancelling"})
+}
+
+func (s *Scheduler) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, errors.New("service: malformed result key"))
+		return
+	}
+	e, ok, err := s.cfg.Store.Get(key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no such result"))
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+func (s *Scheduler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"fingerprint": s.cfg.Fingerprint,
+	})
+}
+
+func (s *Scheduler) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetricsText(w)
+}

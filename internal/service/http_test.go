@@ -1,0 +1,215 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func newServer(t *testing.T, cfg service.Config) (*service.Scheduler, *service.Client) {
+	t.Helper()
+	s := newSched(t, cfg)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, &service.Client{BaseURL: srv.URL, HTTP: srv.Client()}
+}
+
+func TestHTTPSubmitPollFetch(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := newServer(t, service.Config{Store: st, CollectMetrics: true})
+	ctx := context.Background()
+
+	req := service.SubmitRequest{Experiment: "fig7", Seed: 1, Runs: 2, Quick: true}
+	js, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.ID == "" || js.CacheKey == "" {
+		t.Fatalf("submit response incomplete: %+v", js)
+	}
+	js, err = c.Wait(ctx, js.ID, 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.State != service.StateDone {
+		t.Fatalf("job = %s (%s)", js.State, js.Error)
+	}
+	e, err := c.Result(ctx, js.ResultKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Tables, "==") || e.Experiment != "fig7" {
+		t.Errorf("result entry looks wrong: experiment %q, tables %q...", e.Experiment, firstLine(e.Tables))
+	}
+
+	// Resubmission is a cache hit: immediately done, byte-identical tables.
+	js2, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js2.State != service.StateDone || !js2.Cached {
+		t.Fatalf("resubmission = state %s cached %v", js2.State, js2.Cached)
+	}
+	e2, err := c.Result(ctx, js2.ResultKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Tables != e.Tables {
+		t.Error("cache-hit tables differ from the first run")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s, c := newServer(t, service.Config{})
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, service.SubmitRequest{Experiment: "nope"}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown experiment error = %v", err)
+	}
+	if _, err := c.Job(ctx, "job-999"); err == nil || !strings.Contains(err.Error(), "HTTP 404") {
+		t.Errorf("missing job error = %v", err)
+	}
+	if _, err := c.Result(ctx, "deadbeef"); err == nil || !strings.Contains(err.Error(), "HTTP 400") {
+		t.Errorf("malformed key error = %v", err)
+	}
+	if _, err := c.Result(ctx, strings.Repeat("ab", 32)); err == nil || !strings.Contains(err.Error(), "HTTP 404") {
+		t.Errorf("missing result error = %v", err)
+	}
+
+	// Malformed body straight through the raw API.
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPQueueFull(t *testing.T) {
+	started, release := resetBlock()
+	defer close(release)
+	_, c := newServer(t, service.Config{Workers: 1, QueueCap: 1})
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, service.SubmitRequest{Experiment: "test-block", Seed: 11, Runs: 1, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := c.Submit(ctx, service.SubmitRequest{Experiment: "test-block", Seed: 12, Runs: 1, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Submit(ctx, service.SubmitRequest{Experiment: "test-block", Seed: 13, Runs: 1, Quick: true})
+	if err == nil || !strings.Contains(err.Error(), "HTTP 429") {
+		t.Errorf("over-capacity submit = %v, want HTTP 429", err)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	started, release := resetBlock()
+	_, c := newServer(t, service.Config{Workers: 1, QueueCap: 4})
+	ctx := context.Background()
+
+	a, err := c.Submit(ctx, service.SubmitRequest{Experiment: "test-block", Seed: 21, Runs: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	b, err := c.Submit(ctx, service.SubmitRequest{Experiment: "test-block", Seed: 22, Runs: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(ctx, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(ctx, "job-999"); err == nil {
+		t.Error("cancelling a missing job did not error")
+	}
+	close(release)
+	js, err := c.Wait(ctx, b.ID, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.State != service.StateFailed {
+		t.Errorf("cancelled job state = %s", js.State)
+	}
+	if _, err := c.Wait(ctx, a.ID, 5*time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	s, c := newServer(t, service.Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status      string `json:"status"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Fingerprint == "" {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	if _, err := c.Submit(context.Background(), service.SubmitRequest{Experiment: "fig7", Seed: 1, Runs: 1, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "qsm_service_jobs_submitted_total 1") {
+		t.Errorf("metricsz missing submission counter:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metricsz content type = %q", ct)
+	}
+
+	// Jobs listing includes the submission.
+	resp, err = http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(jobs) != 1 || jobs[0].Experiment != "fig7" {
+		t.Errorf("job listing = %+v", jobs)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

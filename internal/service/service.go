@@ -1,0 +1,510 @@
+// Package service is the experiment-serving layer behind cmd/qsmd: a job
+// scheduler wrapping experiments.Run with a bounded admission queue, a
+// content-addressed result cache, per-job lifecycle tracking
+// (queued → running → done/failed) with live progress, context-based
+// cancellation, and graceful drain. Every shape here — admission control,
+// memoization, request lifecycle, drain on shutdown — is the standard
+// serving-stack vocabulary, applied to parameter-sweep simulations.
+//
+// Identical submissions are served from the store: a hit at admission
+// completes the job without queuing, and two concurrent identical jobs
+// share one simulation through the store's single-flight path. Because the
+// simulator is deterministic in the keyed options, cached tables are
+// byte-identical to recomputation.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/store"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// QueueFullError is the typed admission-control rejection returned when the
+// submission queue is at capacity. Callers see it immediately instead of
+// blocking; the HTTP layer maps it to 429.
+type QueueFullError struct{ Capacity int }
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("service: queue full (capacity %d)", e.Capacity)
+}
+
+// ErrDraining rejects submissions arriving after Drain began.
+var ErrDraining = errors.New("service: shutting down")
+
+// ErrUnknownExperiment rejects submissions naming no registered experiment.
+var ErrUnknownExperiment = errors.New("service: unknown experiment")
+
+// Config parameterises a Scheduler.
+type Config struct {
+	// Store is the content-addressed result cache. Required.
+	Store *store.Store
+	// QueueCap bounds the submission queue; admission beyond it returns
+	// QueueFullError. <= 0 means 64.
+	QueueCap int
+	// Workers is the number of jobs simulated concurrently. <= 0 means 2.
+	Workers int
+	// SimParallelism is each job's Options.Parallelism (how many worker
+	// goroutines one simulation sweep fans across). 0 means GOMAXPROCS.
+	SimParallelism int
+	// Fingerprint identifies the code in cache keys; empty means
+	// store.Fingerprint().
+	Fingerprint string
+	// CollectMetrics attaches an obs sink to each computed job and stores
+	// the aggregated metrics JSON (and simulated-event counts) in entries.
+	CollectMetrics bool
+}
+
+// Request is one experiment submission.
+type Request struct {
+	Experiment string
+	Options    experiments.OptionsKey
+}
+
+// JobProgress is a point-in-time view of a running sweep.
+type JobProgress struct {
+	// Done counts completed (sweep-point, run) simulation jobs across all
+	// of the experiment's sweeps so far.
+	Done int `json:"done"`
+	// SweepPoints and SweepRuns describe the current sweep's grid, when a
+	// sweep has reported progress.
+	SweepPoints int `json:"sweep_points,omitempty"`
+	SweepRuns   int `json:"sweep_runs,omitempty"`
+}
+
+// JobStatus is the externally visible snapshot of a job; it is what the
+// HTTP API serializes.
+type JobStatus struct {
+	ID         string                 `json:"id"`
+	Experiment string                 `json:"experiment"`
+	Options    experiments.OptionsKey `json:"options"`
+	State      State                  `json:"state"`
+	// Cached reports the job was served from the result store (at admission
+	// or by sharing another job's in-flight computation).
+	Cached   bool   `json:"cached"`
+	CacheKey string `json:"cache_key"`
+	// ResultKey addresses the result under /v1/results/{key} once done.
+	ResultKey      string      `json:"result_key,omitempty"`
+	Error          string      `json:"error,omitempty"`
+	Progress       JobProgress `json:"progress"`
+	CreatedAt      time.Time   `json:"created_at"`
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+}
+
+// job is the scheduler-internal mutable record behind a JobStatus.
+type job struct {
+	seq        int
+	id         string
+	experiment string
+	opts       experiments.OptionsKey
+	cacheKey   string
+	ctx        context.Context
+	cancel     context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	cached    bool
+	errMsg    string
+	resultKey string
+	progress  JobProgress
+	created   time.Time
+	finished  time.Time
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return JobStatus{
+		ID:             j.id,
+		Experiment:     j.experiment,
+		Options:        j.opts,
+		State:          j.state,
+		Cached:         j.cached,
+		CacheKey:       j.cacheKey,
+		ResultKey:      j.resultKey,
+		Error:          j.errMsg,
+		Progress:       j.progress,
+		CreatedAt:      j.created,
+		ElapsedSeconds: end.Sub(j.created).Seconds(),
+	}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+}
+
+func (j *job) finish(resultKey string, cached bool) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.resultKey = resultKey
+	j.cached = cached
+	j.finished = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.errMsg = err.Error()
+	j.finished = time.Now()
+	j.mu.Unlock()
+}
+
+// onProgress feeds experiments.Options.Progress; it runs on simulation
+// worker goroutines.
+func (j *job) onProgress(p experiments.Progress) {
+	j.mu.Lock()
+	j.progress.Done++
+	j.progress.SweepPoints = p.Points
+	j.progress.SweepRuns = p.Runs
+	j.mu.Unlock()
+}
+
+// Scheduler accepts experiment jobs, runs them on a bounded worker pool,
+// and memoizes results through the store.
+type Scheduler struct {
+	cfg        Config
+	queue      chan *job
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	nextSeq  int
+	draining bool
+
+	// met guards the obs registry: obs recorders are single-goroutine by
+	// design, and here workers and scrape handlers share one.
+	met struct {
+		sync.Mutex
+		rec        *obs.Recorder
+		submitted  *obs.Counter
+		rejected   *obs.Counter
+		failed     *obs.Counter
+		hits       *obs.Counter
+		misses     *obs.Counter
+		queueDepth *obs.Gauge
+		inflight   *obs.Gauge
+		latency    *obs.Histogram
+	}
+}
+
+// New starts a scheduler and its worker pool. Stop it with Drain.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("service: Config.Store is required")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Fingerprint == "" {
+		cfg.Fingerprint = store.Fingerprint()
+	}
+	s := &Scheduler{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueCap),
+		jobs:  map[string]*job{},
+	}
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+	rec := obs.New(obs.Config{Metrics: true})
+	s.met.rec = rec
+	s.met.submitted = rec.Counter("service", "jobs_submitted", "")
+	s.met.rejected = rec.Counter("service", "jobs_rejected", "")
+	s.met.failed = rec.Counter("service", "jobs_failed", "")
+	s.met.hits = rec.Counter("service", "cache_hits", "")
+	s.met.misses = rec.Counter("service", "cache_misses", "")
+	s.met.queueDepth = rec.Gauge("service", "queue_depth", "")
+	s.met.inflight = rec.Gauge("service", "inflight_jobs", "")
+	s.met.latency = rec.Histogram("service", "job_latency_seconds", "", obs.ExpBuckets(0.001, 4, 12))
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// metric runs f under the metrics lock.
+func (s *Scheduler) metric(f func()) {
+	s.met.Lock()
+	f()
+	s.met.Unlock()
+}
+
+// Fingerprint returns the code fingerprint baked into this scheduler's
+// cache keys.
+func (s *Scheduler) Fingerprint() string { return s.cfg.Fingerprint }
+
+// Submit admits one job. On a warm cache the returned status is already
+// done (Cached=true) and nothing is queued; otherwise the job is queued
+// unless the queue is full (QueueFullError) or the scheduler is draining
+// (ErrDraining).
+func (s *Scheduler) Submit(req Request) (JobStatus, error) {
+	if !experiments.Known(req.Experiment) {
+		return JobStatus{}, fmt.Errorf("%w %q (have %v)", ErrUnknownExperiment, req.Experiment, experiments.IDs())
+	}
+	s.metric(func() { s.met.submitted.Inc() })
+	key := store.ResultKey(req.Experiment, req.Options, s.cfg.Fingerprint)
+
+	// Admission-time cache hit: complete without consuming queue capacity.
+	if _, ok, err := s.cfg.Store.Get(key); err == nil && ok {
+		j := s.register(req, key)
+		j.finish(key, true)
+		s.metric(func() { s.met.hits.Inc() })
+		return j.status(), nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.metric(func() { s.met.rejected.Inc() })
+		return JobStatus{}, ErrDraining
+	}
+	j := s.registerLocked(req, key)
+	select {
+	case s.queue <- j:
+		s.metric(func() { s.met.queueDepth.Set(int64(len(s.queue))) })
+		return j.status(), nil
+	default:
+		delete(s.jobs, j.id)
+		j.cancel()
+		s.metric(func() { s.met.rejected.Inc() })
+		return JobStatus{}, &QueueFullError{Capacity: cap(s.queue)}
+	}
+}
+
+func (s *Scheduler) register(req Request, key string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registerLocked(req, key)
+}
+
+func (s *Scheduler) registerLocked(req Request, key string) *job {
+	s.nextSeq++
+	j := &job{
+		seq:        s.nextSeq,
+		id:         fmt.Sprintf("job-%d", s.nextSeq),
+		experiment: req.Experiment,
+		opts:       req.Options,
+		cacheKey:   key,
+		state:      StateQueued,
+		created:    time.Now(),
+	}
+	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
+	s.jobs[j.id] = j
+	return j
+}
+
+// Job returns the status of one job.
+func (s *Scheduler) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// Jobs lists every job in submission order.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(js, func(a, b int) bool { return js[a].seq < js[b].seq })
+	out := make([]JobStatus, len(js))
+	for i, j := range js {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Cancel cancels a job's context. A queued job fails when a worker
+// dequeues it; a running job unwinds at its next (point, run) boundary.
+// It reports whether the job exists.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if ok {
+		j.cancel()
+	}
+	return ok
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.metric(func() { s.met.queueDepth.Set(int64(len(s.queue))) })
+		s.runJob(j)
+	}
+}
+
+func (s *Scheduler) runJob(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		j.fail(err)
+		s.metric(func() { s.met.failed.Inc() })
+		return
+	}
+	j.setRunning()
+	s.metric(func() { s.met.inflight.Add(1) })
+	defer s.metric(func() { s.met.inflight.Add(-1) })
+
+	start := time.Now()
+	entry, hit, err := s.cfg.Store.GetOrCompute(j.cacheKey, func() (*store.Entry, error) {
+		return s.compute(j)
+	})
+	s.metric(func() {
+		s.met.latency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.met.failed.Inc()
+		} else if hit {
+			s.met.hits.Inc()
+		} else {
+			s.met.misses.Inc()
+		}
+	})
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	j.finish(entry.Key, hit)
+}
+
+// compute runs the simulation behind a cache miss and builds its store
+// entry. A panicking experiment is converted to a job failure so one bad
+// simulation cannot take a serving worker down.
+func (s *Scheduler) compute(j *job) (e *store.Entry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: experiment %s panicked: %v", j.experiment, r)
+		}
+	}()
+	opt := j.opts.Options()
+	opt.Parallelism = s.cfg.SimParallelism
+	opt.Context = j.ctx
+	opt.Progress = j.onProgress
+	var sink *obs.Sink
+	if s.cfg.CollectMetrics {
+		sink = obs.NewSink(obs.Config{Metrics: true})
+		opt.Obs = sink
+	}
+	t0 := time.Now()
+	res, err := experiments.Run(j.experiment, opt)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0)
+	entry := &store.Entry{
+		Key:         j.cacheKey,
+		Experiment:  j.experiment,
+		Title:       res.Title,
+		Options:     j.opts,
+		Fingerprint: s.cfg.Fingerprint,
+		Tables:      res.String(),
+		CreatedAt:   time.Now().UTC(),
+	}
+	bench := report.BenchRecord{
+		ID:          j.experiment,
+		Title:       res.Title,
+		Seed:        j.opts.Seed,
+		Runs:        j.opts.Runs,
+		Quick:       j.opts.Quick,
+		Parallelism: s.simParallelism(),
+		WallSeconds: wall.Seconds(),
+	}
+	if sink != nil {
+		merged := sink.Merged()
+		// The job's own sink isolates its event count from concurrent jobs,
+		// unlike the process-global sim.TotalEvents counter.
+		bench.SimEvents = merged.FindCounter("sim", "events", "").Value()
+		var buf bytes.Buffer
+		if err := merged.WriteMetricsJSON(&buf); err == nil {
+			entry.Metrics = buf.Bytes()
+		}
+	}
+	bench.Finish()
+	entry.Bench = &bench
+	return entry, nil
+}
+
+func (s *Scheduler) simParallelism() int {
+	if s.cfg.SimParallelism > 0 {
+		return s.cfg.SimParallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WriteMetricsText dumps the scheduler's obs registry in Prometheus text
+// format; /metricsz serves it.
+func (s *Scheduler) WriteMetricsText(w io.Writer) error {
+	s.met.Lock()
+	defer s.met.Unlock()
+	return s.met.rec.WritePrometheusText(w)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission (Submit returns ErrDraining), lets queued and
+// in-flight jobs finish, and waits for the worker pool to exit. If ctx
+// expires first, outstanding jobs are cancelled through their contexts and
+// Drain still waits for the pool to unwind before returning ctx's error.
+// Drain is idempotent.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.rootCancel()
+		<-done
+		return ctx.Err()
+	}
+}

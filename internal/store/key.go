@@ -1,0 +1,82 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/experiments"
+)
+
+// keyPayload is the canonical encoding a cache key is hashed over. Struct
+// field order fixes the JSON field order, so the encoding is canonical;
+// TestOptionsKeyCanonicalJSON in internal/experiments pins the nested
+// options encoding.
+type keyPayload struct {
+	Experiment  string                 `json:"experiment"`
+	Options     experiments.OptionsKey `json:"options"`
+	Fingerprint string                 `json:"fingerprint"`
+}
+
+// ResultKey returns the content address of one experiment configuration:
+// the hex SHA-256 of the canonical JSON encoding of (experiment id, keyed
+// options, code fingerprint). Identical submissions hash to identical keys;
+// a code change rolls the fingerprint and with it every key.
+func ResultKey(experiment string, opt experiments.OptionsKey, fingerprint string) string {
+	b, err := json.Marshal(keyPayload{experiment, opt, fingerprint})
+	if err != nil {
+		// keyPayload is plain data; encoding cannot fail.
+		panic(fmt.Sprintf("store: encoding key payload: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ValidKey reports whether k has the shape ResultKey produces (64 hex
+// digits). Serving layers check it before touching the filesystem, so an
+// attacker-supplied key cannot traverse outside the cache directory.
+func ValidKey(k string) bool {
+	if len(k) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint identifies the code producing results, for inclusion in cache
+// keys: the VCS revision stamped into the binary (suffixed "+dirty" for
+// modified trees), else the main module's checksum, else "dev". Builds of
+// identical source fingerprint identically; test and `go run` binaries
+// (which carry no VCS stamp) fall back to a process-stable value.
+func Fingerprint() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if modified == "true" {
+			return rev + "+dirty"
+		}
+		return rev
+	}
+	if bi.Main.Sum != "" {
+		return bi.Main.Sum
+	}
+	return "dev"
+}

@@ -1,0 +1,246 @@
+// Package store is a content-addressed cache of experiment results. The key
+// is the SHA-256 of a canonical JSON encoding of (experiment id, the
+// deterministic fields of experiments.Options, a code fingerprint); the
+// value is the experiment's rendered tables plus its bench record and
+// metrics JSON. Entries live on disk under a cache directory with an
+// in-memory LRU in front, and GetOrCompute deduplicates concurrent
+// identical computations single-flight, so two simultaneous submissions of
+// the same experiment run one simulation.
+//
+// Because the simulator is deterministic in its keyed options, a cache hit
+// is byte-identical to a recomputation — the cache changes latency, never
+// results.
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// Entry is one cached experiment result.
+type Entry struct {
+	Key         string                 `json:"key"`
+	Experiment  string                 `json:"experiment"`
+	Title       string                 `json:"title,omitempty"`
+	Options     experiments.OptionsKey `json:"options"`
+	Fingerprint string                 `json:"fingerprint"`
+	// Tables is the experiment's rendered ASCII tables, exactly as the
+	// Result.String() of the run that populated the entry produced them.
+	Tables string `json:"tables"`
+	// Bench is the producing run's performance record (wall time, simulated
+	// events); on a cache hit it describes the original computation.
+	Bench *report.BenchRecord `json:"bench,omitempty"`
+	// Metrics holds the producing run's aggregated METRICS JSON when the
+	// run collected metrics; nil otherwise.
+	Metrics   json.RawMessage `json:"metrics,omitempty"`
+	CreatedAt time.Time       `json:"created_at"`
+}
+
+// DefaultMaxMem bounds the in-memory LRU when Open is given no limit.
+const DefaultMaxMem = 128
+
+// Store is a disk-backed result cache with an in-memory LRU in front. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir string
+	max int
+
+	mu      sync.Mutex
+	mem     map[string]*list.Element // key → element whose Value is *Entry
+	lru     *list.List               // front = most recently used
+	flights map[string]*flight
+}
+
+// flight is one in-progress computation other callers wait on.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// Open creates (if needed) the cache directory and returns a store over it.
+// maxMem bounds the in-memory LRU entry count; <= 0 means DefaultMaxMem.
+// Disk entries are never evicted by the store.
+func Open(dir string, maxMem int) (*Store, error) {
+	if maxMem <= 0 {
+		maxMem = DefaultMaxMem
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating cache dir: %w", err)
+	}
+	return &Store{
+		dir:     dir,
+		max:     maxMem,
+		mem:     map[string]*list.Element{},
+		lru:     list.New(),
+		flights: map[string]*flight{},
+	}, nil
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the disk path backing key.
+func (s *Store) Path(key string) string {
+	return filepath.Join(s.dir, "RESULT_"+key+".json")
+}
+
+// Get returns the cached entry for key, consulting the in-memory LRU first
+// and falling back to disk (promoting a disk hit into memory). A malformed
+// key is an error; a corrupt disk entry is discarded and reported as a
+// miss, so one bad file cannot poison its key forever.
+func (s *Store) Get(key string) (*Entry, bool, error) {
+	if !ValidKey(key) {
+		return nil, false, fmt.Errorf("store: malformed key %q", key)
+	}
+	s.mu.Lock()
+	if el, ok := s.mem[key]; ok {
+		s.lru.MoveToFront(el)
+		e := el.Value.(*Entry)
+		s.mu.Unlock()
+		return e, true, nil
+	}
+	s.mu.Unlock()
+	data, err := os.ReadFile(s.Path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		os.Remove(s.Path(key))
+		return nil, false, nil
+	}
+	s.mu.Lock()
+	s.insert(&e)
+	s.mu.Unlock()
+	return &e, true, nil
+}
+
+// Put stores the entry on disk (atomically, via temp file + rename) and in
+// the in-memory LRU.
+func (s *Store) Put(e *Entry) error {
+	if !ValidKey(e.Key) {
+		return fmt.Errorf("store: malformed key %q", e.Key)
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(s.Path(e.Key), append(data, '\n')); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.insert(e)
+	s.mu.Unlock()
+	return nil
+}
+
+// insert adds or refreshes e in the LRU, evicting from the back over the
+// memory bound. Caller holds s.mu.
+func (s *Store) insert(e *Entry) {
+	if el, ok := s.mem[e.Key]; ok {
+		el.Value = e
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.mem[e.Key] = s.lru.PushFront(e)
+	for s.lru.Len() > s.max {
+		el := s.lru.Back()
+		delete(s.mem, el.Value.(*Entry).Key)
+		s.lru.Remove(el)
+	}
+}
+
+// MemLen returns the number of entries resident in the in-memory LRU.
+func (s *Store) MemLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// GetOrCompute returns the entry for key, running compute to fill a miss.
+// Concurrent calls for the same key are deduplicated single-flight: one
+// caller computes while the rest block and share the outcome. hit reports
+// whether the returned entry came from cache (memory, disk, or another
+// caller's in-flight computation) rather than this caller's own compute.
+// Errors are never cached; after a failed flight, waiters receive the
+// shared error and the next fresh call recomputes.
+func (s *Store) GetOrCompute(key string, compute func() (*Entry, error)) (*Entry, bool, error) {
+	if e, ok, err := s.Get(key); err != nil || ok {
+		return e, ok, err
+	}
+	for {
+		s.mu.Lock()
+		if el, ok := s.mem[key]; ok {
+			s.lru.MoveToFront(el)
+			e := el.Value.(*Entry)
+			s.mu.Unlock()
+			return e, true, nil
+		}
+		f, inflight := s.flights[key]
+		if !inflight {
+			f = &flight{done: make(chan struct{})}
+			s.flights[key] = f
+		}
+		s.mu.Unlock()
+		if inflight {
+			<-f.done
+			if f.err != nil {
+				return nil, false, f.err
+			}
+			// The winner's Put landed before the flight closed, so the
+			// retry hits memory.
+			continue
+		}
+		e, err := compute()
+		if err == nil {
+			err = s.Put(e)
+		}
+		f.err = err
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return nil, false, err
+		}
+		return e, false, nil
+	}
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file and
+// rename, so readers never observe a partial entry and a failed write
+// leaves nothing behind.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}

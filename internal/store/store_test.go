@@ -1,0 +1,258 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func testEntry(key, tables string) *Entry {
+	return &Entry{
+		Key:         key,
+		Experiment:  "fig7",
+		Options:     experiments.OptionsKey{Seed: 1, Runs: 2, Quick: true},
+		Fingerprint: "test",
+		Tables:      tables,
+		CreatedAt:   time.Unix(0, 0).UTC(),
+	}
+}
+
+func testKey(i int) string {
+	return ResultKey(fmt.Sprintf("exp%d", i), experiments.OptionsKey{Seed: int64(i)}, "test")
+}
+
+func TestResultKeyStable(t *testing.T) {
+	k := ResultKey("fig7", experiments.OptionsKey{Seed: 1, Runs: 2, Quick: true}, "fp")
+	// Pinned: changing the canonical encoding silently invalidates every
+	// existing cache; this failure makes that a deliberate act.
+	const want = "6b2265dfe6c3adde8a575061d8c44411ae4b1c00e35291475466e203ea7d5e55"
+	if k != want {
+		t.Errorf("ResultKey = %s, want %s", k, want)
+	}
+	if k2 := ResultKey("fig7", experiments.OptionsKey{Seed: 1, Runs: 2, Quick: true}, "fp"); k2 != k {
+		t.Errorf("identical payloads keyed differently: %s vs %s", k, k2)
+	}
+	for _, other := range []string{
+		ResultKey("fig6", experiments.OptionsKey{Seed: 1, Runs: 2, Quick: true}, "fp"),
+		ResultKey("fig7", experiments.OptionsKey{Seed: 2, Runs: 2, Quick: true}, "fp"),
+		ResultKey("fig7", experiments.OptionsKey{Seed: 1, Runs: 2, Quick: true}, "fp2"),
+	} {
+		if other == k {
+			t.Errorf("distinct payloads collided on %s", k)
+		}
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	if k := testKey(0); !ValidKey(k) {
+		t.Errorf("ValidKey(%q) = false", k)
+	}
+	for _, bad := range []string{
+		"", "short", strings.Repeat("g", 64), strings.Repeat("A", 64),
+		"../../etc/passwd", strings.Repeat("0", 63), strings.Repeat("0", 65),
+	} {
+		if ValidKey(bad) {
+			t.Errorf("ValidKey(%q) = true", bad)
+		}
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("Get on empty store = (%v, %v)", ok, err)
+	}
+	e := testEntry(key, "== T ==\na  1\n")
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = (%v, %v)", ok, err)
+	}
+	if got.Tables != e.Tables || got.Experiment != e.Experiment {
+		t.Errorf("Get returned %+v, want %+v", got, e)
+	}
+
+	// A fresh store over the same directory must serve the entry from disk.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ok, err := s2.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("disk Get = (%v, %v)", ok, err)
+	}
+	if got2.Tables != e.Tables {
+		t.Errorf("disk entry tables = %q, want %q", got2.Tables, e.Tables)
+	}
+	if s2.MemLen() != 1 {
+		t.Errorf("disk hit not promoted into memory: MemLen = %d", s2.MemLen())
+	}
+}
+
+func TestGetMalformedKey(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("../escape"); err == nil {
+		t.Error("Get with malformed key did not error")
+	}
+	if err := s.Put(testEntry("nothex", "x")); err == nil {
+		t.Error("Put with malformed key did not error")
+	}
+}
+
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(2)
+	if err := os.WriteFile(s.Path(key), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("Get over corrupt entry = (%v, %v), want miss", ok, err)
+	}
+	if _, err := os.Stat(s.Path(key)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("corrupt entry not removed; it would shadow the key forever")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{testKey(10), testKey(11), testKey(12)}
+	for _, k := range keys {
+		if err := s.Put(testEntry(k, "t "+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.MemLen() != 2 {
+		t.Fatalf("MemLen = %d, want 2", s.MemLen())
+	}
+	// The evicted entry must still be servable from disk.
+	got, ok, err := s.Get(keys[0])
+	if err != nil || !ok {
+		t.Fatalf("evicted entry not on disk: (%v, %v)", ok, err)
+	}
+	if got.Tables != "t "+keys[0] {
+		t.Errorf("disk entry tables = %q", got.Tables)
+	}
+}
+
+func TestGetOrComputeSingleFlight(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(20)
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	const callers = 8
+	var wg sync.WaitGroup
+	hits := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, hit, err := s.GetOrCompute(key, func() (*Entry, error) {
+				computes.Add(1)
+				<-gate // hold the flight open until all callers have queued
+				return testEntry(key, "tables"), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			hits[i] = hit
+			if e.Tables != "tables" {
+				t.Errorf("caller %d got tables %q", i, e.Tables)
+			}
+		}(i)
+	}
+	// Give every caller time to reach the store before releasing the one
+	// computation; the count assertion below is the real check.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("%d concurrent identical requests ran %d computations, want 1", callers, got)
+	}
+	misses := 0
+	for _, h := range hits {
+		if !h {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d callers reported a miss, want exactly the computing one", misses)
+	}
+
+	// A later call is a plain memory hit with no recomputation.
+	if _, hit, err := s.GetOrCompute(key, func() (*Entry, error) {
+		t.Error("compute ran on a warm cache")
+		return nil, errors.New("unreachable")
+	}); err != nil || !hit {
+		t.Errorf("warm GetOrCompute = (hit=%v, %v)", hit, err)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(21)
+	boom := errors.New("simulation failed")
+	if _, _, err := s.GetOrCompute(key, func() (*Entry, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("first call error = %v, want %v", err, boom)
+	}
+	// The failure must not be cached: the next call recomputes and succeeds.
+	e, hit, err := s.GetOrCompute(key, func() (*Entry, error) { return testEntry(key, "ok"), nil })
+	if err != nil || hit {
+		t.Fatalf("retry after error = (hit=%v, %v)", hit, err)
+	}
+	if e.Tables != "ok" {
+		t.Errorf("retry tables = %q", e.Tables)
+	}
+}
+
+func TestWriteFileAtomicLeavesNoPartial(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Writing under a path whose parent is a regular file fails at temp
+	// creation; nothing may be left behind.
+	if err := writeFileAtomic(filepath.Join(blocker, "e.json"), []byte("data")); err == nil {
+		t.Fatal("writeFileAtomic into a non-directory did not error")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "blocker" {
+		t.Errorf("stray files after failed write: %v", ents)
+	}
+}
