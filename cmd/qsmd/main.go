@@ -9,6 +9,15 @@
 //
 //	qsmd [-addr 127.0.0.1:8344] [-cache qsmd-cache] [-queue 64]
 //	     [-workers 2] [-parallel 0] [-lru 128] [-drain 60s]
+//	     [-job-timeout 0] [-retries 0] [-faults spec] [-fault-seed 1]
+//
+// -job-timeout bounds each execution attempt and -retries gives failed
+// (non-cancelled) jobs a bounded retry budget. -faults arms the
+// deterministic fault injector for chaos drills: a comma-separated list of
+// class:every:max[:delay] rules (or "all:every:max") over the classes
+// store_read, store_write, corrupt_entry, worker_panic, slow_job,
+// http_error, http_drop; -fault-seed picks the schedule. The same seed and
+// spec replay the same fault schedule.
 //
 // API:
 //
@@ -36,25 +45,37 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/service"
 	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8344", "listen address")
-		cacheDir = flag.String("cache", "qsmd-cache", "result cache directory")
-		queueCap = flag.Int("queue", 64, "submission queue capacity (excess submissions get 429)")
-		workers  = flag.Int("workers", 2, "jobs simulated concurrently")
-		parallel = flag.Int("parallel", 0, "worker goroutines per simulation sweep (0 = GOMAXPROCS)")
-		lru      = flag.Int("lru", store.DefaultMaxMem, "in-memory LRU entry bound in front of the disk cache")
-		drain    = flag.Duration("drain", 60*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
+		addr       = flag.String("addr", "127.0.0.1:8344", "listen address")
+		cacheDir   = flag.String("cache", "qsmd-cache", "result cache directory")
+		queueCap   = flag.Int("queue", 64, "submission queue capacity (excess submissions get 429)")
+		workers    = flag.Int("workers", 2, "jobs simulated concurrently")
+		parallel   = flag.Int("parallel", 0, "worker goroutines per simulation sweep (0 = GOMAXPROCS)")
+		lru        = flag.Int("lru", store.DefaultMaxMem, "in-memory LRU entry bound in front of the disk cache")
+		drain      = flag.Duration("drain", 60*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-attempt job execution bound (0 = none)")
+		retries    = flag.Int("retries", 0, "extra attempts for failed non-cancelled jobs")
+		faultSpec  = flag.String("faults", "", "fault-injection rules, class:every:max[:delay],... (chaos drills)")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	)
 	flag.Parse()
 	log.SetPrefix("qsmd: ")
 	log.SetFlags(log.LstdFlags)
 
-	st, err := store.Open(*cacheDir, *lru)
+	inj, err := faults.FromSpec(*faultSeed, *faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if inj != nil {
+		log.Printf("fault injection armed: seed %d, spec %q", *faultSeed, *faultSpec)
+	}
+	st, err := store.OpenConfig(store.Config{Dir: *cacheDir, MaxMem: *lru, Faults: inj})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,12 +85,15 @@ func main() {
 		Workers:        *workers,
 		SimParallelism: *parallel,
 		CollectMetrics: true,
+		JobTimeout:     *jobTimeout,
+		JobRetries:     *retries,
+		Faults:         inj,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: sched.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: faults.Middleware(inj, sched.Handler())}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {

@@ -179,11 +179,32 @@ func checkFinal(t *testing.T, backend string, got func(string) []int64, pl *plan
 }
 
 func TestRandomProgramsBothBackends(t *testing.T) {
-	const p, phases = 5, 8
+	// The corpus spans processor counts from trivial to oversubscribed and
+	// phase counts from single-step to long programs; every combination runs
+	// on both backends against the reference semantics.
+	type combo struct {
+		seed      int64
+		p, phases int
+	}
+	var corpus []combo
 	for seed := int64(1); seed <= 12; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			pl := genPlan(seed, p, phases)
+		corpus = append(corpus, combo{seed, 5, 8})
+	}
+	corpus = append(corpus,
+		combo{13, 1, 8},  // degenerate: no concurrency
+		combo{14, 2, 1},  // single phase
+		combo{15, 2, 12}, // long two-proc program
+		combo{16, 3, 7},
+		combo{17, 7, 5},
+		combo{18, 8, 3}, // more procs than a typical host's spare cores
+		combo{19, 6, 10},
+		combo{20, 4, 9},
+	)
+	for _, c := range corpus {
+		c := c
+		t.Run(fmt.Sprintf("seed%d-p%d-ph%d", c.seed, c.p, c.phases), func(t *testing.T) {
+			seed, p := c.seed, c.p
+			pl := genPlan(seed, p, c.phases)
 			wantReads, final := reference(pl, p)
 			prog := program(pl, wantReads)
 

@@ -1,0 +1,124 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/qsmlib"
+)
+
+// byteReader is a cursor over the fuzz input; once exhausted it yields
+// zeros, so every input decodes to some finite program.
+type byteReader struct {
+	data []byte
+	i    int
+}
+
+func (r *byteReader) next() byte {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return b
+}
+
+func (r *byteReader) next16() int {
+	return int(r.next())<<8 | int(r.next())
+}
+
+// decodePlan turns raw fuzz bytes into a rule-respecting program: the
+// decoder, not the fuzzer, enforces the QSM read/write word partition, so
+// every input exercises the backends rather than the rule checker. Word
+// choices scan forward from the decoded candidate until the partition
+// admits them, which keeps every byte meaningful instead of discarded.
+func decodePlan(data []byte) (*plan, int) {
+	r := &byteReader{data: data}
+	p := 2 + int(r.next())%4      // 2..5 processors
+	phases := 1 + int(r.next())%4 // 1..4 phases
+	pl := &plan{
+		arrays: []arraySpec{
+			{"a", 64, core.LayoutBlocked},
+			{"b", 100, core.LayoutCyclic},
+			{"c", 257, core.LayoutHashed},
+		},
+	}
+	for ph := 0; ph < phases; ph++ {
+		perProc := make([][]op, p)
+		for proc := 0; proc < p; proc++ {
+			nops := int(r.next()) % 3
+			for k := 0; k < nops; k++ {
+				arr := int(r.next()) % len(pl.arrays)
+				write := r.next()&1 == 1
+				count := 1 + int(r.next())%4
+				n := pl.arrays[arr].n
+				seen := map[int]bool{}
+				var idx []int
+				var vals []int64
+				for len(idx) < count {
+					w, ok := admitWord(ph, arr, r.next16()%n, n, write, seen)
+					if !ok {
+						break
+					}
+					seen[w] = true
+					idx = append(idx, w)
+					if write {
+						vals = append(vals, int64(r.next16()))
+					}
+				}
+				if len(idx) == 0 {
+					continue
+				}
+				perProc[proc] = append(perProc[proc], op{write: write, arr: arr, idx: idx, vals: vals})
+			}
+		}
+		pl.phases = append(pl.phases, perProc)
+	}
+	return pl, p
+}
+
+// admitWord scans forward (wrapping) from the candidate until it finds an
+// unused word on the right side of the phase's read/write partition.
+func admitWord(ph, arr, candidate, n int, write bool, seen map[int]bool) (int, bool) {
+	for step := 0; step < n; step++ {
+		w := (candidate + step) % n
+		if !seen[w] && writableWord(ph, arr, w) == write {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// FuzzConformance feeds fuzzer-shaped programs through the same
+// differential harness as the seeded corpus: reference semantics vs the
+// simulated machine vs the native goroutine runtime. Any divergence — a
+// read seeing the wrong snapshot, a write resolving differently, a final
+// array mismatch — fails the input.
+func FuzzConformance(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 0, 1, 2, 0, 10, 0, 99})
+	f.Add([]byte{3, 3, 2, 1, 0, 3, 1, 200, 0, 7, 2, 1, 1, 1, 0, 50})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Add([]byte{1, 2, 2, 2, 1, 2, 0, 30, 0, 5, 0, 60, 0, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			t.Skip("longer inputs only repeat the same op shapes")
+		}
+		pl, p := decodePlan(data)
+		wantReads, final := reference(pl, p)
+		prog := program(pl, wantReads)
+
+		sm := qsmlib.New(p, qsmlib.Options{Seed: 1})
+		if err := sm.Run(prog); err != nil {
+			t.Fatalf("sim backend: %v", err)
+		}
+		checkFinal(t, "sim", sm.Array, pl, final)
+
+		nm := par.NewMachine(p, par.Options{Seed: 1})
+		if err := nm.Run(prog); err != nil {
+			t.Fatalf("native backend: %v", err)
+		}
+		checkFinal(t, "native", nm.Array, pl, final)
+	})
+}

@@ -1,0 +1,212 @@
+package faults_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// The chaos harness drives the full qsmd stack — client, HTTP transport,
+// scheduler, workers, result store — under a seeded fault schedule firing
+// every injectable failure class, and asserts the served tables are
+// byte-identical to a fault-free run. It is the end-to-end form of the
+// repo's determinism claim: first "parallelism doesn't change results",
+// now "failures don't change results".
+//
+// Faults are budgeted (Rule.Max), so the retrying layers are guaranteed to
+// converge: the client out-retries the HTTP budget, the scheduler's
+// attempt budget out-lasts panics and slowdowns, and the store quarantines
+// corruption and recomputes.
+
+// chaosJobs is the workload: one fig7 sweep per seed, small enough that a
+// schedule's full double wave stays in test-friendly time.
+var chaosJobs = []int64{1, 2, 3, 4, 5, 6}
+
+const chaosExperiment = "fig7"
+
+func chaosOptions(seed int64) experiments.Options {
+	return experiments.Options{Seed: seed, Runs: 1, Quick: true}
+}
+
+// baseline computes the fault-free tables once per job seed.
+func baseline(t *testing.T) map[int64]string {
+	t.Helper()
+	out := map[int64]string{}
+	for _, seed := range chaosJobs {
+		res, err := experiments.Run(chaosExperiment, chaosOptions(seed))
+		if err != nil {
+			t.Fatalf("fault-free %s seed %d: %v", chaosExperiment, seed, err)
+		}
+		out[seed] = res.String()
+	}
+	return out
+}
+
+// chaosRules arms every fault class with a small period and a bounded
+// budget. Periods are chosen well under the number of consultations each
+// class sees in one schedule, so every class is guaranteed to fire at
+// least once; budgets are small enough that retries always converge.
+func chaosRules() map[faults.Class]faults.Rule {
+	return map[faults.Class]faults.Rule{
+		faults.StoreRead:    {Every: 5, Max: 2},
+		faults.StoreWrite:   {Every: 3, Max: 1},
+		faults.CorruptEntry: {Every: 2, Max: 2},
+		faults.WorkerPanic:  {Every: 4, Max: 1},
+		faults.SlowJob:      {Every: 3, Max: 2, Delay: 20 * time.Millisecond},
+		faults.HTTPError:    {Every: 4, Max: 3},
+		faults.HTTPDrop:     {Every: 5, Max: 3},
+	}
+}
+
+// chaosStack is one faulted qsmd deployment over a shared cache dir.
+type chaosStack struct {
+	sched  *service.Scheduler
+	server *httptest.Server
+	client *service.Client
+}
+
+func newChaosStack(t *testing.T, dir string, scheduleSeed int64, inj *faults.Injector) *chaosStack {
+	t.Helper()
+	st, err := store.OpenConfig(store.Config{
+		Dir: dir,
+		// A one-entry memory LRU forces most reads to disk, where the
+		// corruption and read-error classes act.
+		MaxMem: 1,
+		Faults: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := service.New(service.Config{
+		Store:       st,
+		Workers:     2,
+		QueueCap:    32,
+		Fingerprint: "chaos",
+		JobTimeout:  30 * time.Second,
+		JobRetries:  3,
+		Faults:      inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(faults.Middleware(inj, sched.Handler()))
+	client := &service.Client{
+		BaseURL: server.URL,
+		HTTP:    server.Client(),
+		Retry: service.RetryPolicy{
+			MaxAttempts: 8,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  20 * time.Millisecond,
+			Seed:        scheduleSeed,
+		},
+		RequestTimeout: 10 * time.Second,
+	}
+	s := &chaosStack{sched: sched, server: server, client: client}
+	t.Cleanup(func() { s.shutdown(t) })
+	return s
+}
+
+func (s *chaosStack) shutdown(t *testing.T) {
+	t.Helper()
+	if s.sched != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.sched.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		s.sched = nil
+		s.server.Close()
+	}
+}
+
+// runJob pushes one job through the faulted stack to a fetched result. A
+// result fetch can legitimately 404 when the injector corrupted that
+// entry's file on read (the store quarantines it, leaving a miss), so the
+// fetch loop resubmits to recompute — the same recovery a real client
+// performs against a cache that dropped an entry.
+func (s *chaosStack) runJob(t *testing.T, ctx context.Context, seed int64) *store.Entry {
+	t.Helper()
+	req := service.SubmitRequest{
+		Experiment: chaosExperiment,
+		Seed:       seed,
+		Runs:       1,
+		Quick:      true,
+	}
+	for tries := 0; ; tries++ {
+		js, err := s.client.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", seed, err)
+		}
+		if js.State != service.StateDone {
+			if js, err = s.client.Wait(ctx, js.ID, 5*time.Millisecond, nil); err != nil {
+				t.Fatalf("wait seed %d: %v", seed, err)
+			}
+		}
+		if js.State != service.StateDone {
+			t.Fatalf("job seed %d = %s (%s), want done", seed, js.State, js.Error)
+		}
+		e, err := s.client.Result(ctx, js.ResultKey)
+		if err == nil {
+			return e
+		}
+		if tries >= 4 {
+			t.Fatalf("result seed %d unavailable after %d recomputes: %v", seed, tries, err)
+		}
+	}
+}
+
+// TestChaosSchedulesMatchFaultFree is the headline chaos sweep (the CI
+// smoke job selects it with -run Chaos): three seeded schedules, each
+// running the workload twice — once against a fresh cache and once
+// against a restarted stack over the same cache dir, which forces the
+// cold-read path where corruption bites. Every fault class must fire at
+// least once per schedule, and every served table must be byte-identical
+// to the fault-free baseline.
+func TestChaosSchedulesMatchFaultFree(t *testing.T) {
+	want := baseline(t)
+	ctx := context.Background()
+	for _, scheduleSeed := range []int64{101, 202, 303} {
+		t.Run(fmt.Sprintf("schedule-%d", scheduleSeed), func(t *testing.T) {
+			inj := faults.New(faults.Config{Seed: scheduleSeed, Rules: chaosRules()})
+			dir := t.TempDir()
+
+			for wave := 1; wave <= 2; wave++ {
+				stack := newChaosStack(t, dir, scheduleSeed, inj)
+				for _, seed := range chaosJobs {
+					e := stack.runJob(t, ctx, seed)
+					if e.Tables != want[seed] {
+						t.Errorf("wave %d seed %d: tables diverged from fault-free run\nfaulted:\n%s\nfault-free:\n%s",
+							wave, seed, e.Tables, want[seed])
+					}
+				}
+				// Restarting the stack over the same cache dir empties the
+				// memory LRU, so wave 2's admission reads come from disk.
+				stack.shutdown(t)
+			}
+
+			rec := inj.Metrics()
+			for _, c := range faults.Classes() {
+				ctr := rec.FindCounter("faults", "injected", "class="+c.String())
+				if ctr == nil || ctr.Value() < 1 {
+					t.Errorf("fault class %s never fired under schedule %d (counts: %s)",
+						c, scheduleSeed, chaosCounts(inj))
+				}
+			}
+		})
+	}
+}
+
+func chaosCounts(inj *faults.Injector) string {
+	out := ""
+	for _, c := range faults.Classes() {
+		out += fmt.Sprintf("%s=%d ", c, inj.Count(c))
+	}
+	return out
+}

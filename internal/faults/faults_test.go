@@ -1,0 +1,260 @@
+package faults
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	rules := map[Class]Rule{
+		StoreRead:   {Every: 3, Max: 4},
+		HTTPError:   {Every: 2, Max: 0},
+		WorkerPanic: {Every: 5, Max: 1},
+	}
+	pattern := func(seed int64) []bool {
+		inj := New(Config{Seed: seed, Rules: rules})
+		var p []bool
+		for i := 0; i < 40; i++ {
+			p = append(p, inj.Fire(StoreRead), inj.Fire(HTTPError), inj.Fire(WorkerPanic))
+		}
+		return p
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	// A different seed shifts at least one class's phase in this rule set.
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical schedules; offsets are not seeded")
+	}
+}
+
+func TestEveryAndMaxBudget(t *testing.T) {
+	inj := New(Config{Seed: 1, Rules: map[Class]Rule{StoreWrite: {Every: 4, Max: 2}}})
+	fires := 0
+	var firstIdx []int
+	for i := 0; i < 40; i++ {
+		if inj.Fire(StoreWrite) {
+			fires++
+			firstIdx = append(firstIdx, i)
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("fired %d times, want Max=2", fires)
+	}
+	if firstIdx[1]-firstIdx[0] != 4 {
+		t.Errorf("fires at %v, want spacing Every=4", firstIdx)
+	}
+	if firstIdx[0] >= 4 {
+		t.Errorf("first fire at %d, want within the first Every=4 consultations", firstIdx[0])
+	}
+	if inj.Count(StoreWrite) != 2 {
+		t.Errorf("Count = %d, want 2", inj.Count(StoreWrite))
+	}
+}
+
+func TestDisabledAndNilInjectNothing(t *testing.T) {
+	inj := New(Config{Seed: 1}) // no rules
+	var nilInj *Injector
+	for i := 0; i < 10; i++ {
+		if inj.Fire(StoreRead) || nilInj.Fire(StoreRead) {
+			t.Fatal("disabled class fired")
+		}
+		if inj.Err(HTTPError, "x") != nil || nilInj.Err(HTTPError, "x") != nil {
+			t.Fatal("disabled class errored")
+		}
+		if inj.SlowDelay() != 0 || nilInj.SlowDelay() != 0 {
+			t.Fatal("disabled class delayed")
+		}
+		if got := inj.CorruptBytes([]byte("abc")); string(got) != "abc" {
+			t.Fatal("disabled class corrupted")
+		}
+	}
+	if nilInj.Count(SlowJob) != 0 {
+		t.Error("nil injector counted an injection")
+	}
+	if nilInj.Metrics() == nil {
+		t.Error("nil injector Metrics() = nil, want an empty snapshot")
+	}
+}
+
+func TestInjectedErrorIdentifiesItself(t *testing.T) {
+	inj := New(Config{Seed: 3, Rules: map[Class]Rule{StoreRead: {Every: 1, Max: 1}}})
+	err := inj.Err(StoreRead, "store get")
+	var ie *InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Err = %v, want *InjectedError", err)
+	}
+	if ie.Class != StoreRead || ie.N != 1 || !strings.Contains(ie.Error(), "store get") {
+		t.Errorf("InjectedError = %+v (%s)", ie, ie)
+	}
+}
+
+func TestCorruptBytesTruncatesOrFlips(t *testing.T) {
+	data := []byte(strings.Repeat("x", 64))
+	sawTruncate, sawFlip := false, false
+	for seed := int64(0); seed < 32 && !(sawTruncate && sawFlip); seed++ {
+		inj := New(Config{Seed: seed, Rules: map[Class]Rule{CorruptEntry: {Every: 1, Max: 1}}})
+		out := inj.CorruptBytes(data)
+		switch {
+		case len(out) < len(data):
+			sawTruncate = true
+		case string(out) != string(data):
+			sawFlip = true
+		default:
+			t.Fatalf("seed %d: fired but bytes unchanged", seed)
+		}
+		if string(data) != strings.Repeat("x", 64) {
+			t.Fatal("CorruptBytes mutated the caller's slice")
+		}
+	}
+	if !sawTruncate || !sawFlip {
+		t.Errorf("32 seeds produced truncate=%v flip=%v, want both modes", sawTruncate, sawFlip)
+	}
+}
+
+func TestSlowDelayUsesRuleThenDefault(t *testing.T) {
+	inj := New(Config{Seed: 1, Rules: map[Class]Rule{SlowJob: {Every: 1, Max: 1, Delay: 5 * time.Millisecond}}})
+	if d := inj.SlowDelay(); d != 5*time.Millisecond {
+		t.Errorf("SlowDelay = %v, want the rule's 5ms", d)
+	}
+	inj = New(Config{Seed: 1, Rules: map[Class]Rule{SlowJob: {Every: 1, Max: 1}}})
+	if d := inj.SlowDelay(); d != DefaultSlowDelay {
+		t.Errorf("SlowDelay = %v, want DefaultSlowDelay", d)
+	}
+}
+
+func TestMetricsCountInjections(t *testing.T) {
+	inj := New(Config{Seed: 2, Rules: map[Class]Rule{
+		HTTPDrop:  {Every: 1, Max: 3},
+		StoreRead: {Every: 1, Max: 1},
+	}})
+	for i := 0; i < 5; i++ {
+		inj.Fire(HTTPDrop)
+	}
+	inj.Err(StoreRead, "get")
+	rec := inj.Metrics()
+	if v := rec.FindCounter("faults", "injected", "class=http_drop").Value(); v != 3 {
+		t.Errorf("http_drop counter = %d, want 3", v)
+	}
+	if v := rec.FindCounter("faults", "injected", "class=store_read").Value(); v != 1 {
+		t.Errorf("store_read counter = %d, want 1", v)
+	}
+	var b strings.Builder
+	if err := inj.WriteMetricsText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `qsm_faults_injected_total{class="http_drop"} 3`) {
+		t.Errorf("prometheus dump missing drop counter:\n%s", b.String())
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("store_read:3:2, slow_job:4:1:50ms,http_error:5:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Class]Rule{
+		StoreRead: {Every: 3, Max: 2},
+		SlowJob:   {Every: 4, Max: 1, Delay: 50 * time.Millisecond},
+		HTTPError: {Every: 5, Max: 0},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(rules), len(want))
+	}
+	for c, r := range want {
+		if rules[c] != r {
+			t.Errorf("rule[%s] = %+v, want %+v", c, rules[c], r)
+		}
+	}
+
+	all, err := ParseRules("all:2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Classes()) {
+		t.Errorf(`"all" expanded to %d rules, want %d`, len(all), len(Classes()))
+	}
+
+	for _, bad := range []string{"nope:1:1", "store_read:0:1", "store_read:1", "store_read:1:1:xyz", "store_read:1:-1"} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted", bad)
+		}
+	}
+
+	if inj, err := FromSpec(1, "  "); err != nil || inj != nil {
+		t.Errorf("FromSpec(empty) = (%v, %v), want (nil, nil)", inj, err)
+	}
+	if inj, err := FromSpec(1, "worker_panic:2:1"); err != nil || inj == nil {
+		t.Errorf("FromSpec(valid) = (%v, %v)", inj, err)
+	}
+}
+
+func TestMiddlewareInjectsErrorAndDrop(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok")
+	})
+
+	// HTTPError every request: the client sees 503 with a JSON error body.
+	inj := New(Config{Seed: 1, Rules: map[Class]Rule{HTTPError: {Every: 1, Max: 1}}})
+	srv := httptest.NewServer(Middleware(inj, next))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "http_error") {
+		t.Errorf("injected 503 body = %q (%v)", body, err)
+	}
+	// Budget exhausted: the next request passes through.
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-budget status = %d, want 200", resp.StatusCode)
+	}
+
+	// HTTPDrop: the client observes a transport error, not a status.
+	inj = New(Config{Seed: 1, Rules: map[Class]Rule{HTTPDrop: {Every: 1, Max: 1}}})
+	srv2 := httptest.NewServer(Middleware(inj, next))
+	defer srv2.Close()
+	if resp, err := http.Get(srv2.URL); err == nil {
+		resp.Body.Close()
+		t.Error("dropped request returned a response, want transport error")
+	}
+	if inj.Count(HTTPDrop) != 1 {
+		t.Errorf("drop count = %d, want 1", inj.Count(HTTPDrop))
+	}
+
+	// Nil injector is a pass-through, not a wrapper.
+	if got := Middleware(nil, next); got == nil {
+		t.Fatal("Middleware(nil) = nil")
+	}
+}

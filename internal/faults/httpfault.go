@@ -1,0 +1,29 @@
+package faults
+
+import "net/http"
+
+// Middleware wraps an HTTP handler with the injector's HTTP fault classes:
+// HTTPDrop aborts the response mid-flight (the client observes a connection
+// reset or EOF, exercising its transport-error retry path) and HTTPError
+// replaces the response with a 503 carrying the service's JSON error shape
+// (exercising the status-code retry path). A nil injector passes every
+// request through untouched.
+func Middleware(inj *Injector, next http.Handler) http.Handler {
+	if inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if inj.Fire(HTTPDrop) {
+			// net/http recovers ErrAbortHandler quietly and closes the
+			// connection without writing a response.
+			panic(http.ErrAbortHandler)
+		}
+		if err := inj.Err(HTTPError, "http "+r.Method+" "+r.URL.Path); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"` + err.Error() + `"}` + "\n"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

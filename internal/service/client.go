@@ -6,13 +6,33 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/stats"
 	"repro/internal/store"
 )
+
+// RetryPolicy bounds client-side retries of transient request failures:
+// transport errors (connection refused, dropped responses), HTTP 5xx, and
+// 429. Backoff between attempts is capped exponential with equal jitter,
+// seeded so a run's retry timing is reproducible.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request; <= 1 disables
+	// retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it up to MaxBackoff. Zero values mean 50ms base, 2s cap.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the jitter stream; the same seed replays the same backoff
+	// schedule.
+	Seed int64
+}
 
 // Client talks to a qsmd server; qsmbench -server is built on it.
 type Client struct {
@@ -20,6 +40,15 @@ type Client struct {
 	BaseURL string
 	// HTTP overrides the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Retry bounds per-request retries; the zero value makes every request
+	// single-shot.
+	Retry RetryPolicy
+	// RequestTimeout bounds each attempt (not the whole retry loop), layered
+	// under the caller's context. 0 means no per-attempt limit.
+	RequestTimeout time.Duration
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -33,46 +62,124 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.BaseURL, "/") + path
 }
 
-// do issues one request and decodes the JSON response into out, converting
-// {"error": ...} bodies on non-2xx statuses into errors.
+// backoff returns the equal-jitter delay before retry number n (1-based):
+// half the capped exponential step plus a seeded random draw of the other
+// half.
+func (c *Client) backoff(n int) time.Duration {
+	base := c.Retry.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxB := c.Retry.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	d := base << (n - 1)
+	if d <= 0 || d > maxB { // <= 0 catches shift overflow
+		d = maxB
+	}
+	c.jitterMu.Lock()
+	if c.jitter == nil {
+		c.jitter = stats.NewRand(c.Retry.Seed, 0x636c69656e74) // "client"
+	}
+	half := d / 2
+	d = half + time.Duration(c.jitter.Int63n(int64(half)+1))
+	c.jitterMu.Unlock()
+	return d
+}
+
+// retryable reports whether an attempt outcome warrants another try:
+// transport-level failures (status 0), server errors, and queue-full
+// pushback. Other 4xx are the caller's bug and retrying cannot help.
+func retryable(status int, err error) bool {
+	if err != nil && status == 0 {
+		return true
+	}
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// do issues a request with bounded retries, decoding the JSON response into
+// out. Each attempt runs under RequestTimeout; transient failures back off
+// and retry while the policy's budget and the caller's context allow.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(data)
+	}
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for n := 1; ; n++ {
+		status, err := c.once(ctx, method, path, data, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if n >= attempts || ctx.Err() != nil || !retryable(status, err) {
+			if n > 1 {
+				return fmt.Errorf("qsmd: %d attempts failed: %w", n, lastErr)
+			}
+			return lastErr
+		}
+		t := time.NewTimer(c.backoff(n))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("qsmd: %d attempts failed: %w", n, lastErr)
+		}
+	}
+}
+
+// once issues a single attempt. The returned status is 0 for
+// transport-level failures and the HTTP status otherwise.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+	if c.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.RequestTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if resp.StatusCode/100 != 2 {
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("qsmd: %s (HTTP %d)", e.Error, resp.StatusCode)
+			return resp.StatusCode, fmt.Errorf("qsmd: %s (HTTP %d)", e.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("qsmd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		return resp.StatusCode, fmt.Errorf("qsmd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
 	}
 	if out == nil {
-		return nil
+		return resp.StatusCode, nil
 	}
-	return json.Unmarshal(data, out)
+	if err := json.Unmarshal(data, out); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
 }
 
 // Submit posts one job.

@@ -1,0 +1,159 @@
+package service_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// scriptedServer runs handler and counts requests.
+func scriptedServer(t *testing.T, handler func(n int64, w http.ResponseWriter, r *http.Request)) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler(n.Add(1), w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &n
+}
+
+func retryClient(srv *httptest.Server, attempts int) *service.Client {
+	return &service.Client{
+		BaseURL: srv.URL,
+		HTTP:    srv.Client(),
+		Retry: service.RetryPolicy{
+			MaxAttempts: attempts,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  5 * time.Millisecond,
+			Seed:        1,
+		},
+	}
+}
+
+func TestClientRetries5xx(t *testing.T) {
+	srv, n := scriptedServer(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		if n <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"try later"}`))
+			return
+		}
+		w.Write([]byte(`{"id":"job-1","state":"done"}`))
+	})
+	c := retryClient(srv, 4)
+	js, err := c.Job(context.Background(), "job-1")
+	if err != nil {
+		t.Fatalf("Job after retries = %v", err)
+	}
+	if js.State != service.StateDone {
+		t.Errorf("state = %s, want done", js.State)
+	}
+	if got := n.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (two 503s, one success)", got)
+	}
+}
+
+func TestClientRetriesDroppedResponses(t *testing.T) {
+	srv, n := scriptedServer(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		if n == 1 {
+			// Abort the connection mid-response: the client sees a transport
+			// error, not a status.
+			panic(http.ErrAbortHandler)
+		}
+		w.Write([]byte(`{"id":"job-1","state":"done"}`))
+	})
+	c := retryClient(srv, 3)
+	if _, err := c.Job(context.Background(), "job-1"); err != nil {
+		t.Fatalf("Job after dropped response = %v", err)
+	}
+	if got := n.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2", got)
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	srv, n := scriptedServer(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"no such job"}`))
+	})
+	c := retryClient(srv, 5)
+	_, err := c.Job(context.Background(), "job-1")
+	if err == nil || !strings.Contains(err.Error(), "HTTP 404") {
+		t.Fatalf("error = %v, want the 404 surfaced", err)
+	}
+	if strings.Contains(err.Error(), "attempts failed") {
+		t.Errorf("single-attempt failure wrapped as retried: %v", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (404 is not retryable)", got)
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	srv, n := scriptedServer(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"broken"}`))
+	})
+	c := retryClient(srv, 3)
+	_, err := c.Job(context.Background(), "job-1")
+	if err == nil || !strings.Contains(err.Error(), "3 attempts failed") {
+		t.Fatalf("error = %v, want a 3-attempt failure", err)
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("wrapped error lost the server's message: %v", err)
+	}
+	if got := n.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want exactly the budget of 3", got)
+	}
+}
+
+func TestClientRequestTimeoutRetries(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	srv, n := scriptedServer(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		if n == 1 {
+			// Stall past the per-attempt timeout (or until test teardown).
+			select {
+			case <-r.Context().Done():
+			case <-release:
+			}
+			return
+		}
+		w.Write([]byte(`{"id":"job-1","state":"done"}`))
+	})
+	c := retryClient(srv, 2)
+	c.RequestTimeout = 50 * time.Millisecond
+	js, err := c.Job(context.Background(), "job-1")
+	if err != nil {
+		t.Fatalf("Job after slow first attempt = %v", err)
+	}
+	if js.State != service.StateDone {
+		t.Errorf("state = %s, want done", js.State)
+	}
+	if got := n.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2", got)
+	}
+}
+
+func TestClientCallerContextStopsRetries(t *testing.T) {
+	srv, n := scriptedServer(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"try later"}`))
+	})
+	c := retryClient(srv, 100)
+	c.Retry.BaseBackoff = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.Job(ctx, "job-1")
+	if err == nil {
+		t.Fatal("Job succeeded against an always-503 server")
+	}
+	if got := n.Load(); got >= 10 {
+		t.Errorf("server saw %d requests; the cancelled context should have stopped the loop early", got)
+	}
+}

@@ -19,7 +19,7 @@ func newServer(t *testing.T, cfg service.Config) (*service.Scheduler, *service.C
 	s := newSched(t, cfg)
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
-	return s, &service.Client{BaseURL: srv.URL, HTTP: srv.Client()}
+	return s.Scheduler, &service.Client{BaseURL: srv.URL, HTTP: srv.Client()}
 }
 
 func TestHTTPSubmitPollFetch(t *testing.T) {

@@ -3,14 +3,23 @@
 // content-addressed result cache, per-job lifecycle tracking
 // (queued → running → done/failed) with live progress, context-based
 // cancellation, and graceful drain. Every shape here — admission control,
-// memoization, request lifecycle, drain on shutdown — is the standard
-// serving-stack vocabulary, applied to parameter-sweep simulations.
+// memoization, request lifecycle, retry budgets, drain on shutdown — is the
+// standard serving-stack vocabulary, applied to parameter-sweep simulations.
 //
 // Identical submissions are served from the store: a hit at admission
 // completes the job without queuing, and two concurrent identical jobs
 // share one simulation through the store's single-flight path. Because the
 // simulator is deterministic in the keyed options, cached tables are
 // byte-identical to recomputation.
+//
+// Failures are contained per attempt: each execution attempt runs under an
+// optional per-job timeout, a failed (non-cancelled) attempt is retried up
+// to a bounded budget, and a panicking experiment is converted to an
+// attempt failure rather than taking a worker down. An optional
+// faults.Injector drives worker panics and artificial slowness through the
+// same paths deterministically, which is how the chaos harness in
+// internal/faults proves that injected failures never change served
+// results.
 package service
 
 import (
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/store"
@@ -73,6 +83,24 @@ type Config struct {
 	// CollectMetrics attaches an obs sink to each computed job and stores
 	// the aggregated metrics JSON (and simulated-event counts) in entries.
 	CollectMetrics bool
+	// JobTimeout bounds each execution attempt; an attempt exceeding it is
+	// cancelled through its context and counts as a failure (retried while
+	// budget remains). 0 means no per-attempt limit.
+	JobTimeout time.Duration
+	// JobRetries is how many additional attempts a failed job gets beyond
+	// the first. Cancelled jobs are never retried; the budget only covers
+	// transient failures (panics, timeouts, injected faults). 0 retries.
+	JobRetries int
+	// Faults optionally injects worker panics and artificial slowness into
+	// the compute path; nil injects nothing.
+	Faults *faults.Injector
+	// StateHook, when non-nil, is called synchronously with a job's status
+	// after every lifecycle transition (queued, each running attempt, done,
+	// failed). It runs on scheduler and worker goroutines outside scheduler
+	// locks; it must be safe for concurrent use and must not call back into
+	// the scheduler. Tests use it for channel-based synchronization instead
+	// of wall-clock polling.
+	StateHook func(JobStatus)
 }
 
 // Request is one experiment submission.
@@ -104,8 +132,11 @@ type JobStatus struct {
 	Cached   bool   `json:"cached"`
 	CacheKey string `json:"cache_key"`
 	// ResultKey addresses the result under /v1/results/{key} once done.
-	ResultKey      string      `json:"result_key,omitempty"`
-	Error          string      `json:"error,omitempty"`
+	ResultKey string `json:"result_key,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Attempt is the number of execution attempts started so far (1 on the
+	// first run; higher after retries). Zero for jobs served at admission.
+	Attempt        int         `json:"attempt,omitempty"`
 	Progress       JobProgress `json:"progress"`
 	CreatedAt      time.Time   `json:"created_at"`
 	ElapsedSeconds float64     `json:"elapsed_seconds"`
@@ -126,6 +157,7 @@ type job struct {
 	cached    bool
 	errMsg    string
 	resultKey string
+	attempt   int
 	progress  JobProgress
 	created   time.Time
 	finished  time.Time
@@ -147,15 +179,17 @@ func (j *job) status() JobStatus {
 		CacheKey:       j.cacheKey,
 		ResultKey:      j.resultKey,
 		Error:          j.errMsg,
+		Attempt:        j.attempt,
 		Progress:       j.progress,
 		CreatedAt:      j.created,
 		ElapsedSeconds: end.Sub(j.created).Seconds(),
 	}
 }
 
-func (j *job) setRunning() {
+func (j *job) startAttempt() {
 	j.mu.Lock()
 	j.state = StateRunning
+	j.attempt++
 	j.mu.Unlock()
 }
 
@@ -193,6 +227,7 @@ type Scheduler struct {
 	queue      chan *job
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
+	drainCh    chan struct{}
 	wg         sync.WaitGroup
 
 	mu       sync.Mutex
@@ -208,6 +243,7 @@ type Scheduler struct {
 		submitted  *obs.Counter
 		rejected   *obs.Counter
 		failed     *obs.Counter
+		retried    *obs.Counter
 		hits       *obs.Counter
 		misses     *obs.Counter
 		queueDepth *obs.Gauge
@@ -231,9 +267,10 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg.Fingerprint = store.Fingerprint()
 	}
 	s := &Scheduler{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueCap),
-		jobs:  map[string]*job{},
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueCap),
+		jobs:    map[string]*job{},
+		drainCh: make(chan struct{}),
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 	rec := obs.New(obs.Config{Metrics: true})
@@ -241,6 +278,7 @@ func New(cfg Config) (*Scheduler, error) {
 	s.met.submitted = rec.Counter("service", "jobs_submitted", "")
 	s.met.rejected = rec.Counter("service", "jobs_rejected", "")
 	s.met.failed = rec.Counter("service", "jobs_failed", "")
+	s.met.retried = rec.Counter("service", "jobs_retried", "")
 	s.met.hits = rec.Counter("service", "cache_hits", "")
 	s.met.misses = rec.Counter("service", "cache_misses", "")
 	s.met.queueDepth = rec.Gauge("service", "queue_depth", "")
@@ -260,6 +298,14 @@ func (s *Scheduler) metric(f func()) {
 	s.met.Unlock()
 }
 
+// notify invokes the state hook with j's current status. Call sites hold no
+// scheduler locks.
+func (s *Scheduler) notify(j *job) {
+	if s.cfg.StateHook != nil {
+		s.cfg.StateHook(j.status())
+	}
+}
+
 // Fingerprint returns the code fingerprint baked into this scheduler's
 // cache keys.
 func (s *Scheduler) Fingerprint() string { return s.cfg.Fingerprint }
@@ -276,30 +322,39 @@ func (s *Scheduler) Submit(req Request) (JobStatus, error) {
 	key := store.ResultKey(req.Experiment, req.Options, s.cfg.Fingerprint)
 
 	// Admission-time cache hit: complete without consuming queue capacity.
+	// A store read error here is deliberately treated as a miss — the queue
+	// path recomputes.
 	if _, ok, err := s.cfg.Store.Get(key); err == nil && ok {
 		j := s.register(req, key)
 		j.finish(key, true)
 		s.metric(func() { s.met.hits.Inc() })
+		s.notify(j)
 		return j.status(), nil
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		s.metric(func() { s.met.rejected.Inc() })
 		return JobStatus{}, ErrDraining
 	}
 	j := s.registerLocked(req, key)
+	var full bool
 	select {
 	case s.queue <- j:
-		s.metric(func() { s.met.queueDepth.Set(int64(len(s.queue))) })
-		return j.status(), nil
 	default:
 		delete(s.jobs, j.id)
+		full = true
+	}
+	s.mu.Unlock()
+	if full {
 		j.cancel()
 		s.metric(func() { s.met.rejected.Inc() })
 		return JobStatus{}, &QueueFullError{Capacity: cap(s.queue)}
 	}
+	s.metric(func() { s.met.queueDepth.Set(int64(len(s.queue))) })
+	s.notify(j)
+	return j.status(), nil
 }
 
 func (s *Scheduler) register(req Request, key string) *job {
@@ -372,49 +427,96 @@ func (s *Scheduler) worker() {
 	}
 }
 
+// runJob executes one job's attempt loop: each attempt runs under the
+// per-job timeout, and a failed attempt is retried while the job is not
+// cancelled and the retry budget lasts.
 func (s *Scheduler) runJob(j *job) {
 	if err := j.ctx.Err(); err != nil {
 		j.fail(err)
 		s.metric(func() { s.met.failed.Inc() })
+		s.notify(j)
 		return
 	}
-	j.setRunning()
 	s.metric(func() { s.met.inflight.Add(1) })
 	defer s.metric(func() { s.met.inflight.Add(-1) })
 
 	start := time.Now()
-	entry, hit, err := s.cfg.Store.GetOrCompute(j.cacheKey, func() (*store.Entry, error) {
-		return s.compute(j)
-	})
-	s.metric(func() {
-		s.met.latency.Observe(time.Since(start).Seconds())
-		if err != nil {
-			s.met.failed.Inc()
-		} else if hit {
-			s.met.hits.Inc()
-		} else {
-			s.met.misses.Inc()
+	for {
+		j.startAttempt()
+		s.notify(j)
+		entry, hit, err := s.attempt(j)
+		if err == nil {
+			s.metric(func() {
+				s.met.latency.Observe(time.Since(start).Seconds())
+				if hit {
+					s.met.hits.Inc()
+				} else {
+					s.met.misses.Inc()
+				}
+			})
+			j.finish(entry.Key, hit)
+			s.notify(j)
+			return
 		}
-	})
-	if err != nil {
+		if j.ctx.Err() == nil && j.attempts() <= s.cfg.JobRetries {
+			s.metric(func() { s.met.retried.Inc() })
+			continue
+		}
+		s.metric(func() {
+			s.met.latency.Observe(time.Since(start).Seconds())
+			s.met.failed.Inc()
+		})
 		j.fail(err)
+		s.notify(j)
 		return
 	}
-	j.finish(entry.Key, hit)
+}
+
+func (j *job) attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+// attempt runs one execution attempt through the store's single-flight
+// path, bounded by the per-job timeout.
+func (s *Scheduler) attempt(j *job) (*store.Entry, bool, error) {
+	runCtx, cancel := j.ctx, func() {}
+	if s.cfg.JobTimeout > 0 {
+		runCtx, cancel = context.WithTimeout(j.ctx, s.cfg.JobTimeout)
+	}
+	defer cancel()
+	return s.cfg.Store.GetOrCompute(j.cacheKey, func() (*store.Entry, error) {
+		return s.compute(j, runCtx)
+	})
 }
 
 // compute runs the simulation behind a cache miss and builds its store
-// entry. A panicking experiment is converted to a job failure so one bad
-// simulation cannot take a serving worker down.
-func (s *Scheduler) compute(j *job) (e *store.Entry, err error) {
+// entry. A panicking experiment is converted to an attempt failure so one
+// bad simulation cannot take a serving worker down. The fault injector's
+// SlowJob and WorkerPanic classes act here, upstream of the experiment,
+// so injected failures exercise exactly the paths real ones take.
+func (s *Scheduler) compute(j *job, ctx context.Context) (e *store.Entry, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("service: experiment %s panicked: %v", j.experiment, r)
 		}
 	}()
+	if d := s.cfg.Faults.SlowDelay(); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	if s.cfg.Faults.Fire(faults.WorkerPanic) {
+		panic("faults: injected worker panic")
+	}
 	opt := j.opts.Options()
 	opt.Parallelism = s.cfg.SimParallelism
-	opt.Context = j.ctx
+	opt.Context = ctx
 	opt.Progress = j.onProgress
 	var sink *obs.Sink
 	if s.cfg.CollectMetrics {
@@ -467,12 +569,25 @@ func (s *Scheduler) simParallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// WriteMetricsText dumps the scheduler's obs registry in Prometheus text
-// format; /metricsz serves it.
+// WriteMetricsText dumps the scheduler's obs registry followed by the
+// store's self-metrics and (when armed) the fault injector's per-class fire
+// counters, all in Prometheus text format; /metricsz serves it. The
+// registries use disjoint subsystems, so the concatenation is a valid
+// exposition.
 func (s *Scheduler) WriteMetricsText(w io.Writer) error {
 	s.met.Lock()
-	defer s.met.Unlock()
-	return s.met.rec.WritePrometheusText(w)
+	err := s.met.rec.WritePrometheusText(w)
+	s.met.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Store.WriteMetricsText(w); err != nil {
+		return err
+	}
+	if s.cfg.Faults != nil {
+		return s.cfg.Faults.WriteMetricsText(w)
+	}
+	return nil
 }
 
 // Draining reports whether Drain has begun.
@@ -481,6 +596,10 @@ func (s *Scheduler) Draining() bool {
 	defer s.mu.Unlock()
 	return s.draining
 }
+
+// DrainBegun returns a channel closed when Drain first begins; tests use it
+// to synchronize on drain start without polling.
+func (s *Scheduler) DrainBegun() <-chan struct{} { return s.drainCh }
 
 // Drain stops admission (Submit returns ErrDraining), lets queued and
 // in-flight jobs finish, and waits for the worker pool to exit. If ctx
@@ -492,6 +611,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		close(s.drainCh)
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})

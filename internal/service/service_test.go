@@ -6,22 +6,26 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/report"
 	"repro/internal/service"
 	"repro/internal/store"
 )
 
-// The scheduler tests steer worker timing through three registered test
+// The scheduler tests steer worker timing through registered test
 // experiments: test-block parks inside the driver until released (or its
-// Options.Context is cancelled), test-fail errors, test-panic panics.
+// Options.Context is cancelled), test-fail errors, test-panic panics, and
+// test-flaky fails until its failure budget runs out.
 var (
-	blockMu      sync.Mutex
-	blockStarted chan int64
-	blockRelease chan struct{}
+	blockMu        sync.Mutex
+	blockStarted   chan int64
+	blockRelease   chan struct{}
+	flakyRemaining atomic.Int32
 )
 
 func init() {
@@ -53,6 +57,14 @@ func init() {
 	experiments.Register("test-panic", "always panics (test)", func(o experiments.Options) (*experiments.Result, error) {
 		panic("deliberate panic")
 	})
+	experiments.Register("test-flaky", "fails until the budget is spent (test)", func(o experiments.Options) (*experiments.Result, error) {
+		if flakyRemaining.Add(-1) >= 0 {
+			return nil, errors.New("transient failure")
+		}
+		tb := report.NewTable("flaky", "seed")
+		tb.AddRow(fmt.Sprint(o.Seed))
+		return &experiments.Result{ID: "test-flaky", Title: "test", Tables: []*report.Table{tb}}, nil
+	})
 }
 
 // resetBlock re-arms the test-block experiment and returns its start-signal
@@ -65,7 +77,18 @@ func resetBlock() (chan int64, chan struct{}) {
 	return blockStarted, blockRelease
 }
 
-func newSched(t *testing.T, cfg service.Config) *service.Scheduler {
+// testSched wraps a scheduler with a channel fed by Config.StateHook, so
+// tests synchronize on real lifecycle transitions instead of polling the
+// wall clock.
+type testSched struct {
+	*service.Scheduler
+	events chan service.JobStatus
+	// seen holds terminal states drained from events while waiting for a
+	// different job.
+	seen map[string]service.JobStatus
+}
+
+func newSched(t *testing.T, cfg service.Config) *testSched {
 	t.Helper()
 	if cfg.Store == nil {
 		st, err := store.Open(t.TempDir(), 0)
@@ -77,37 +100,55 @@ func newSched(t *testing.T, cfg service.Config) *service.Scheduler {
 	if cfg.Fingerprint == "" {
 		cfg.Fingerprint = "test-fp"
 	}
+	ts := &testSched{
+		events: make(chan service.JobStatus, 1024),
+		seen:   map[string]service.JobStatus{},
+	}
+	if cfg.StateHook == nil {
+		cfg.StateHook = func(js service.JobStatus) { ts.events <- js }
+	}
 	s, err := service.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ts.Scheduler = s
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		s.Drain(ctx)
 	})
-	return s
+	return ts
 }
 
-// waitJob polls until the job reaches a terminal state.
-func waitJob(t *testing.T, s *service.Scheduler, id string) service.JobStatus {
+func terminal(st service.State) bool {
+	return st == service.StateDone || st == service.StateFailed
+}
+
+// waitJob blocks on lifecycle events until the job reaches a terminal
+// state. The timer is a failure deadline, not a poll interval.
+func waitJob(t *testing.T, s *testSched, id string) service.JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		js, ok := s.Job(id)
-		if !ok {
-			t.Fatalf("job %s disappeared", id)
-		}
-		if js.State == service.StateDone || js.State == service.StateFailed {
-			return js
-		}
-		time.Sleep(5 * time.Millisecond)
+	if js, ok := s.seen[id]; ok {
+		return js
 	}
-	t.Fatalf("job %s did not finish", id)
-	return service.JobStatus{}
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case js := <-s.events:
+			if !terminal(js.State) {
+				continue
+			}
+			if js.ID == id {
+				return js
+			}
+			s.seen[js.ID] = js
+		case <-deadline:
+			t.Fatalf("job %s did not finish", id)
+		}
+	}
 }
 
-func submit(t *testing.T, s *service.Scheduler, exp string, seed int64) service.JobStatus {
+func submit(t *testing.T, s *testSched, exp string, seed int64) service.JobStatus {
 	t.Helper()
 	js, err := s.Submit(service.Request{
 		Experiment: exp,
@@ -144,6 +185,9 @@ func TestCacheHitOnResubmit(t *testing.T) {
 	}
 	if done.ResultKey != first.CacheKey {
 		t.Errorf("result key %s != cache key %s", done.ResultKey, first.CacheKey)
+	}
+	if done.Attempt != 1 {
+		t.Errorf("computed job attempt = %d, want 1", done.Attempt)
 	}
 	e1, ok, err := st.Get(done.ResultKey)
 	if err != nil || !ok {
@@ -246,6 +290,9 @@ func TestJobFailure(t *testing.T) {
 	if js.State != service.StateFailed || !strings.Contains(js.Error, "deliberate failure") {
 		t.Errorf("job = %s %q, want failed with the driver's error", js.State, js.Error)
 	}
+	if js.Attempt != 1 {
+		t.Errorf("attempt = %d, want 1 (no retry budget configured)", js.Attempt)
+	}
 }
 
 func TestPanicIsolation(t *testing.T) {
@@ -257,6 +304,129 @@ func TestPanicIsolation(t *testing.T) {
 	// The worker survived; the scheduler still serves.
 	if js := waitJob(t, s, submit(t, s, "fig7", 1).ID); js.State != service.StateDone {
 		t.Errorf("post-panic job state = %s (%s)", js.State, js.Error)
+	}
+}
+
+func TestJobRetrySucceeds(t *testing.T) {
+	flakyRemaining.Store(2) // first two attempts fail
+	s := newSched(t, service.Config{Workers: 1, JobRetries: 3})
+	js := waitJob(t, s, submit(t, s, "test-flaky", 1).ID)
+	if js.State != service.StateDone {
+		t.Fatalf("flaky job = %s (%s), want done after retries", js.State, js.Error)
+	}
+	if js.Attempt != 3 {
+		t.Errorf("attempt = %d, want 3 (two failures, then success)", js.Attempt)
+	}
+	var b strings.Builder
+	if err := s.WriteMetricsText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "qsm_service_jobs_retried_total 2") {
+		t.Errorf("metrics missing retry count:\n%s", b.String())
+	}
+}
+
+func TestJobRetryBudgetExhausted(t *testing.T) {
+	flakyRemaining.Store(100)
+	s := newSched(t, service.Config{Workers: 1, JobRetries: 2})
+	js := waitJob(t, s, submit(t, s, "test-flaky", 2).ID)
+	if js.State != service.StateFailed || !strings.Contains(js.Error, "transient failure") {
+		t.Errorf("job = %s %q, want failed with the driver's error", js.State, js.Error)
+	}
+	if js.Attempt != 3 {
+		t.Errorf("attempt = %d, want 3 (initial + 2 retries)", js.Attempt)
+	}
+}
+
+func TestJobTimeoutRetries(t *testing.T) {
+	started, release := resetBlock()
+	s := newSched(t, service.Config{
+		Workers:    1,
+		JobTimeout: 50 * time.Millisecond,
+		JobRetries: 1,
+	})
+	js := submit(t, s, "test-block", 7)
+	<-started // attempt 1 blocks until its per-attempt deadline cancels it
+	<-started // attempt 2 started: the timeout was converted into a retry
+	close(release)
+	done := waitJob(t, s, js.ID)
+	if done.State != service.StateDone {
+		t.Fatalf("job = %s (%s), want done on the retry", done.State, done.Error)
+	}
+	if done.Attempt != 2 {
+		t.Errorf("attempt = %d, want 2", done.Attempt)
+	}
+}
+
+func TestJobTimeoutExhaustsRetries(t *testing.T) {
+	started, _ := resetBlock() // nothing ever releases the block
+	s := newSched(t, service.Config{
+		Workers:    1,
+		JobTimeout: 30 * time.Millisecond,
+		JobRetries: 1,
+	})
+	js := submit(t, s, "test-block", 8)
+	<-started
+	<-started
+	done := waitJob(t, s, js.ID)
+	if done.State != service.StateFailed || !strings.Contains(done.Error, context.DeadlineExceeded.Error()) {
+		t.Errorf("job = %s %q, want failed with the attempt deadline", done.State, done.Error)
+	}
+	if done.Attempt != 2 {
+		t.Errorf("attempt = %d, want 2", done.Attempt)
+	}
+}
+
+func TestInjectedPanicIsRetried(t *testing.T) {
+	inj := faults.New(faults.Config{
+		Seed:  1,
+		Rules: map[faults.Class]faults.Rule{faults.WorkerPanic: {Every: 1, Max: 1}},
+	})
+	s := newSched(t, service.Config{Workers: 1, JobRetries: 1, Faults: inj})
+	js := waitJob(t, s, submit(t, s, "fig7", 3).ID)
+	if js.State != service.StateDone {
+		t.Fatalf("job = %s (%s), want done after the injected panic", js.State, js.Error)
+	}
+	if js.Attempt != 2 {
+		t.Errorf("attempt = %d, want 2 (panic on the first)", js.Attempt)
+	}
+	if n := inj.Count(faults.WorkerPanic); n != 1 {
+		t.Errorf("injected panics = %d, want 1", n)
+	}
+	// The injector's fire counters ride along on the scheduler's metrics
+	// dump (what /metricsz serves).
+	var b strings.Builder
+	if err := s.WriteMetricsText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `qsm_faults_injected_total{class="worker_panic"} 1`) {
+		t.Errorf("metrics dump missing injector counters:\n%s", b.String())
+	}
+}
+
+func TestInjectedSlowJobHitsTimeout(t *testing.T) {
+	inj := faults.New(faults.Config{
+		Seed: 1,
+		Rules: map[faults.Class]faults.Rule{
+			faults.SlowJob: {Every: 1, Max: 1, Delay: 10 * time.Second},
+		},
+	})
+	flakyRemaining.Store(0) // test-flaky succeeds instantly once the delay is gone
+	s := newSched(t, service.Config{
+		Workers:    1,
+		JobTimeout: 50 * time.Millisecond,
+		JobRetries: 1,
+		Faults:     inj,
+	})
+	js := waitJob(t, s, submit(t, s, "test-flaky", 4).ID)
+	if js.State != service.StateDone {
+		t.Fatalf("job = %s (%s), want done once the slow-job budget is spent", js.State, js.Error)
+	}
+	if js.Attempt != 2 {
+		t.Errorf("attempt = %d, want 2 (first attempt injected slow, timed out)", js.Attempt)
+	}
+	if n := inj.Count(faults.SlowJob); n != 1 {
+		t.Errorf("injected slowdowns = %d, want 1", n)
 	}
 }
 
@@ -281,6 +451,24 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 }
 
+func TestCancelledJobIsNotRetried(t *testing.T) {
+	started, release := resetBlock()
+	s := newSched(t, service.Config{Workers: 1, JobRetries: 5})
+	js := submit(t, s, "test-block", 9)
+	<-started
+	if !s.Cancel(js.ID) {
+		t.Fatal("Cancel reported the job unknown")
+	}
+	close(release)
+	done := waitJob(t, s, js.ID)
+	if done.State != service.StateFailed {
+		t.Fatalf("cancelled job = %s, want failed", done.State)
+	}
+	if done.Attempt != 1 {
+		t.Errorf("attempt = %d, want 1 (cancellation must not consume the retry budget)", done.Attempt)
+	}
+}
+
 func TestDrain(t *testing.T) {
 	started, release := resetBlock()
 	s := newSched(t, service.Config{Workers: 1})
@@ -289,9 +477,7 @@ func TestDrain(t *testing.T) {
 
 	drained := make(chan error, 1)
 	go func() { drained <- s.Drain(context.Background()) }()
-	for !s.Draining() {
-		time.Sleep(time.Millisecond)
-	}
+	<-s.DrainBegun()
 	if _, err := s.Submit(service.Request{
 		Experiment: "test-block",
 		Options:    experiments.Options{Seed: 9, Runs: 1, Quick: true}.Key(),

@@ -1,0 +1,30 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// entryChecksum returns the hex SHA-256 of the entry's compact JSON
+// encoding with the Checksum field empty. Struct field order fixes the JSON
+// field order, so the encoding is canonical and the checksum is stable
+// across marshal/unmarshal round trips.
+func entryChecksum(e *Entry) string {
+	c := *e
+	c.Checksum = ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// Entry is plain data; encoding cannot fail.
+		panic(fmt.Sprintf("store: encoding entry for checksum: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ChecksumOK verifies the entry against its stored checksum. Entries
+// without one (written before checksums existed) pass unverified.
+func (e *Entry) ChecksumOK() bool {
+	return e.Checksum == "" || e.Checksum == entryChecksum(e)
+}

@@ -1,0 +1,57 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// FuzzOptionsKey pins the cache key's canonicalization properties: two
+// option sets key identically if and only if they are equal (no aliasing
+// between distinct configurations, no instability between identical ones),
+// keys survive a JSON round trip of the options (what the HTTP layer does
+// to every submission), and every produced key passes ValidKey.
+func FuzzOptionsKey(f *testing.F) {
+	f.Add(int64(0), 0, false, int64(0), 0, false, "fig7", "fp")
+	f.Add(int64(1), 2, true, int64(1), 2, true, "fig7", "fp")
+	f.Add(int64(1), 2, true, int64(1), 2, false, "fig7", "fp")
+	f.Add(int64(-5), 1000, false, int64(5), -1000, true, "table2", "dev")
+	f.Add(int64(1), 2, true, int64(1), 2, true, "fig7", "fp2")
+	f.Fuzz(func(t *testing.T, seed1 int64, runs1 int, quick1 bool, seed2 int64, runs2 int, quick2 bool, exp, fp string) {
+		k1 := experiments.OptionsKey{Seed: seed1, Runs: runs1, Quick: quick1}
+		k2 := experiments.OptionsKey{Seed: seed2, Runs: runs2, Quick: quick2}
+		key1 := ResultKey(exp, k1, fp)
+		key2 := ResultKey(exp, k2, fp)
+		if !ValidKey(key1) {
+			t.Fatalf("ResultKey(%q, %+v, %q) = %q fails ValidKey", exp, k1, fp, key1)
+		}
+		if (k1 == k2) != (key1 == key2) {
+			t.Fatalf("aliasing: options %+v vs %+v equal=%v but keys %s vs %s equal=%v",
+				k1, k2, k1 == k2, key1, key2, key1 == key2)
+		}
+
+		// The HTTP layer decodes options from JSON before keying; a
+		// round trip through that encoding must not move the key.
+		b, err := json.Marshal(k1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rt experiments.OptionsKey
+		if err := json.Unmarshal(b, &rt); err != nil {
+			t.Fatal(err)
+		}
+		if rk := ResultKey(exp, rt, fp); rk != key1 {
+			t.Fatalf("JSON round trip moved key: %s -> %s (options %s)", key1, rk, b)
+		}
+
+		// Distinct experiments and fingerprints must never collide with the
+		// base key for the same options.
+		if other := ResultKey(exp+"x", k1, fp); other == key1 {
+			t.Fatalf("experiment ids %q and %q collided on %s", exp, exp+"x", key1)
+		}
+		if other := ResultKey(exp, k1, fp+"x"); other == key1 {
+			t.Fatalf("fingerprints %q and %q collided on %s", fp, fp+"x", key1)
+		}
+	})
+}

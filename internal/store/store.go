@@ -9,7 +9,15 @@
 //
 // Because the simulator is deterministic in its keyed options, a cache hit
 // is byte-identical to a recomputation — the cache changes latency, never
-// results.
+// results. The store defends that guarantee against storage failures:
+// entries carry a checksum verified on every disk read (a corrupt or
+// truncated entry is quarantined and reported as a miss, so the result is
+// recomputed rather than served wrong), and GetOrCompute degrades to
+// compute-through when the disk misbehaves — a read error falls through to
+// computation and a failed write falls back to memory-only caching, so an
+// unwritable cache directory costs latency, never availability or
+// correctness. Fault sites consult an optional faults.Injector, letting
+// tests drive every degraded path deterministically.
 package store
 
 import (
@@ -17,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -24,6 +33,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -44,21 +55,51 @@ type Entry struct {
 	// run collected metrics; nil otherwise.
 	Metrics   json.RawMessage `json:"metrics,omitempty"`
 	CreatedAt time.Time       `json:"created_at"`
+	// Checksum is the hex SHA-256 of the entry's canonical JSON encoding
+	// with this field empty; Put fills it and Get verifies it, so silent
+	// disk corruption surfaces as a quarantined miss instead of a wrong
+	// result. Entries written before checksums existed (empty field) are
+	// accepted unverified.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // DefaultMaxMem bounds the in-memory LRU when Open is given no limit.
 const DefaultMaxMem = 128
 
+// Config parameterises a Store beyond the directory and LRU bound.
+type Config struct {
+	// Dir is the cache directory, created if needed. Required.
+	Dir string
+	// MaxMem bounds the in-memory LRU entry count; <= 0 means DefaultMaxMem.
+	MaxMem int
+	// Faults optionally injects deterministic read/write I/O errors and
+	// entry corruption at the store's fault sites; nil injects nothing.
+	Faults *faults.Injector
+}
+
 // Store is a disk-backed result cache with an in-memory LRU in front. All
 // methods are safe for concurrent use.
 type Store struct {
-	dir string
-	max int
+	dir    string
+	max    int
+	faults *faults.Injector
 
 	mu      sync.Mutex
 	mem     map[string]*list.Element // key → element whose Value is *Entry
 	lru     *list.List               // front = most recently used
 	flights map[string]*flight
+
+	// met guards the store's self-metrics registry (obs recorders are
+	// single-goroutine by design).
+	met struct {
+		sync.Mutex
+		rec           *obs.Recorder
+		readErrors    *obs.Counter // disk reads that errored (injected or real)
+		quarantined   *obs.Counter // corrupt/truncated entries moved aside
+		checksumFails *obs.Counter // quarantines caused by checksum mismatch
+		writeDegraded *obs.Counter // Put failures degraded to memory-only
+		readDegraded  *obs.Counter // Get errors degraded to compute-through
+	}
 }
 
 // flight is one in-progress computation other callers wait on.
@@ -71,19 +112,57 @@ type flight struct {
 // maxMem bounds the in-memory LRU entry count; <= 0 means DefaultMaxMem.
 // Disk entries are never evicted by the store.
 func Open(dir string, maxMem int) (*Store, error) {
-	if maxMem <= 0 {
-		maxMem = DefaultMaxMem
+	return OpenConfig(Config{Dir: dir, MaxMem: maxMem})
+}
+
+// OpenConfig is Open with the full configuration surface.
+func OpenConfig(cfg Config) (*Store, error) {
+	if cfg.MaxMem <= 0 {
+		cfg.MaxMem = DefaultMaxMem
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating cache dir: %w", err)
 	}
-	return &Store{
-		dir:     dir,
-		max:     maxMem,
+	s := &Store{
+		dir:     cfg.Dir,
+		max:     cfg.MaxMem,
+		faults:  cfg.Faults,
 		mem:     map[string]*list.Element{},
 		lru:     list.New(),
 		flights: map[string]*flight{},
-	}, nil
+	}
+	rec := obs.New(obs.Config{Metrics: true})
+	s.met.rec = rec
+	s.met.readErrors = rec.Counter("store", "read_errors", "")
+	s.met.quarantined = rec.Counter("store", "entries_quarantined", "")
+	s.met.checksumFails = rec.Counter("store", "checksum_failures", "")
+	s.met.writeDegraded = rec.Counter("store", "writes_degraded", "")
+	s.met.readDegraded = rec.Counter("store", "reads_degraded", "")
+	return s, nil
+}
+
+// count increments one self-metric under the metrics lock.
+func (s *Store) count(c *obs.Counter) {
+	s.met.Lock()
+	c.Inc()
+	s.met.Unlock()
+}
+
+// WriteMetricsText dumps the store's self-metrics in Prometheus text
+// format; the service layer appends it to /metricsz.
+func (s *Store) WriteMetricsText(w io.Writer) error {
+	s.met.Lock()
+	defer s.met.Unlock()
+	return s.met.rec.WritePrometheusText(w)
+}
+
+// Metric returns the current value of one store self-metric by name
+// (read_errors, entries_quarantined, checksum_failures, writes_degraded,
+// reads_degraded); unknown names read zero.
+func (s *Store) Metric(name string) uint64 {
+	s.met.Lock()
+	defer s.met.Unlock()
+	return s.met.rec.FindCounter("store", name, "").Value()
 }
 
 // Dir returns the cache directory.
@@ -94,10 +173,17 @@ func (s *Store) Path(key string) string {
 	return filepath.Join(s.dir, "RESULT_"+key+".json")
 }
 
+// QuarantinePath returns where a corrupt entry for key is moved on
+// detection.
+func (s *Store) QuarantinePath(key string) string {
+	return s.Path(key) + ".quarantined"
+}
+
 // Get returns the cached entry for key, consulting the in-memory LRU first
 // and falling back to disk (promoting a disk hit into memory). A malformed
-// key is an error; a corrupt disk entry is discarded and reported as a
-// miss, so one bad file cannot poison its key forever.
+// key is an error; a corrupt or checksum-failing disk entry is quarantined
+// (moved to QuarantinePath) and reported as a miss, so one bad file cannot
+// poison its key forever and the evidence survives for inspection.
 func (s *Store) Get(key string) (*Entry, bool, error) {
 	if !ValidKey(key) {
 		return nil, false, fmt.Errorf("store: malformed key %q", key)
@@ -110,16 +196,27 @@ func (s *Store) Get(key string) (*Entry, bool, error) {
 		return e, true, nil
 	}
 	s.mu.Unlock()
+	if err := s.faults.Err(faults.StoreRead, "store get"); err != nil {
+		s.count(s.met.readErrors)
+		return nil, false, err
+	}
 	data, err := os.ReadFile(s.Path(key))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, false, nil
 	}
 	if err != nil {
+		s.count(s.met.readErrors)
 		return nil, false, err
 	}
+	data = s.faults.CorruptBytes(data)
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		os.Remove(s.Path(key))
+		s.quarantine(key)
+		return nil, false, nil
+	}
+	if !e.ChecksumOK() {
+		s.count(s.met.checksumFails)
+		s.quarantine(key)
 		return nil, false, nil
 	}
 	s.mu.Lock()
@@ -128,14 +225,28 @@ func (s *Store) Get(key string) (*Entry, bool, error) {
 	return &e, true, nil
 }
 
+// quarantine moves the disk file behind key aside (falling back to removal
+// if the rename fails), so a corrupt entry neither shadows its key nor
+// vanishes before it can be inspected.
+func (s *Store) quarantine(key string) {
+	s.count(s.met.quarantined)
+	if err := os.Rename(s.Path(key), s.QuarantinePath(key)); err != nil {
+		os.Remove(s.Path(key))
+	}
+}
+
 // Put stores the entry on disk (atomically, via temp file + rename) and in
-// the in-memory LRU.
+// the in-memory LRU, stamping its checksum.
 func (s *Store) Put(e *Entry) error {
 	if !ValidKey(e.Key) {
 		return fmt.Errorf("store: malformed key %q", e.Key)
 	}
+	e.Checksum = entryChecksum(e)
 	data, err := json.MarshalIndent(e, "", "  ")
 	if err != nil {
+		return err
+	}
+	if err := s.faults.Err(faults.StoreWrite, "store put"); err != nil {
 		return err
 	}
 	if err := writeFileAtomic(s.Path(e.Key), append(data, '\n')); err != nil {
@@ -177,9 +288,20 @@ func (s *Store) MemLen() int {
 // caller's in-flight computation) rather than this caller's own compute.
 // Errors are never cached; after a failed flight, waiters receive the
 // shared error and the next fresh call recomputes.
+//
+// Storage failures degrade rather than propagate: a read error falls
+// through to computation (counted as reads_degraded) and a failed disk
+// write caches the computed entry in memory only (writes_degraded), so
+// compute errors are the only errors GetOrCompute returns.
 func (s *Store) GetOrCompute(key string, compute func() (*Entry, error)) (*Entry, bool, error) {
-	if e, ok, err := s.Get(key); err != nil || ok {
-		return e, ok, err
+	e, ok, err := s.Get(key)
+	if ok {
+		return e, true, nil
+	}
+	if err != nil {
+		// Compute-through: the cache is broken for this read, the
+		// simulation is not.
+		s.count(s.met.readDegraded)
 	}
 	for {
 		s.mu.Lock()
@@ -200,13 +322,20 @@ func (s *Store) GetOrCompute(key string, compute func() (*Entry, error)) (*Entry
 			if f.err != nil {
 				return nil, false, f.err
 			}
-			// The winner's Put landed before the flight closed, so the
-			// retry hits memory.
+			// The winner's entry landed in memory before the flight closed,
+			// so the retry hits.
 			continue
 		}
 		e, err := compute()
 		if err == nil {
-			err = s.Put(e)
+			if perr := s.Put(e); perr != nil {
+				// Degrade to memory-only caching: the result is correct,
+				// only its persistence failed.
+				s.count(s.met.writeDegraded)
+				s.mu.Lock()
+				s.insert(e)
+				s.mu.Unlock()
+			}
 		}
 		f.err = err
 		s.mu.Lock()
