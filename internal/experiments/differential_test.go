@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// renderMode runs one experiment under an engine configuration and returns
+// its rendered tables and aggregated metrics JSON.
+func renderMode(t *testing.T, id string, stepProcs bool, sched sim.Scheduler, par int) (string, []byte) {
+	t.Helper()
+	sim.UseStepProcs = stepProcs
+	sim.DefaultScheduler = sched
+	sink := obs.NewSink(obs.Config{Metrics: true})
+	r, err := Run(id, Options{Seed: 1, Runs: 2, Quick: true, Parallelism: par, Obs: sink})
+	if err != nil {
+		t.Fatalf("%s [stepprocs=%v sched=%s par=%d]: %v", id, stepProcs, sched, par, err)
+	}
+	var m bytes.Buffer
+	if err := sink.Merged().WriteMetricsJSON(&m); err != nil {
+		t.Fatal(err)
+	}
+	return r.String(), m.Bytes()
+}
+
+// TestEngineModeDifferential is the determinism contract behind the engine's
+// speed switches: for every experiment, state-machine processes on or off,
+// the calendar queue or the 4-ary heap, serial or a full worker pool — the
+// rendered tables and the aggregated METRICS_<id>.json bytes must be
+// identical. The switches are package globals, so this test runs the matrix
+// sequentially and must not use t.Parallel.
+func TestEngineModeDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps in -short mode")
+	}
+	defer func() {
+		sim.UseStepProcs = true
+		sim.DefaultScheduler = sim.SchedHeap
+	}()
+	// Floor the pool size so the worker-pool merge paths are exercised even
+	// on single-core machines (parMap caps the pool at the job count anyway).
+	maxPar := runtime.GOMAXPROCS(0)
+	if maxPar < 4 {
+		maxPar = 4
+	}
+	for _, id := range IDs() {
+		baseTables, baseMetrics := renderMode(t, id, true, sim.SchedHeap, 1)
+		for _, mode := range []struct {
+			name      string
+			stepProcs bool
+			sched     sim.Scheduler
+			par       int
+		}{
+			{"goroutines/heap/serial", false, sim.SchedHeap, 1},
+			{"steppers/calendar/serial", true, sim.SchedCalendar, 1},
+			{"goroutines/calendar/parallel", false, sim.SchedCalendar, maxPar},
+			{"steppers/heap/parallel", true, sim.SchedHeap, maxPar},
+		} {
+			tables, metrics := renderMode(t, id, mode.stepProcs, mode.sched, mode.par)
+			if tables != baseTables {
+				t.Errorf("%s: tables diverge under %s\nbase:\n%s\ngot:\n%s", id, mode.name,
+					firstDiffLine(baseTables, tables), firstDiffLine(tables, baseTables))
+			}
+			if !bytes.Equal(metrics, baseMetrics) {
+				t.Errorf("%s: metrics JSON diverges under %s (%d vs %d bytes)", id, mode.name,
+					len(baseMetrics), len(metrics))
+			}
+		}
+	}
+}
+
+// firstDiffLine returns the first line of a that differs from b, with its
+// index, for readable failure output.
+func firstDiffLine(a, b string) string {
+	la, lb := []byte(a), []byte(b)
+	line, col := 1, 0
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			break
+		}
+		if la[i] == '\n' {
+			line++
+			col = i + 1
+		}
+	}
+	end := col
+	for end < len(la) && la[end] != '\n' {
+		end++
+	}
+	return fmt.Sprintf("line %d: %q", line, string(la[col:end]))
+}

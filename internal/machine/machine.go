@@ -172,7 +172,12 @@ func (n *Node) Busy(cycles sim.Time) { n.proc.Advance(cycles) }
 
 // Send transmits a message of the given wire size to dst. The calling
 // process is busy for SendOverhead cycles; NIC serialisation, wire latency
-// and receive-side NIC queueing proceed asynchronously.
+// and receive-side NIC queueing proceed asynchronously. The NICs are
+// goroutine-free sim.Server reservations and the in-flight hop is the
+// engine's closure-free wire shuttle (Chan.SendAfter carries the Packet on
+// the event itself), so a message in transit costs no process wake-ups and
+// no per-message closure — only the sending and receiving node programs,
+// which are user code, run as goroutine processes.
 func (n *Node) Send(dst, tag, bytes int, payload interface{}) {
 	if dst < 0 || dst >= len(n.mp.Nodes) {
 		panic(fmt.Sprintf("machine: send to invalid node %d", dst))

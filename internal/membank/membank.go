@@ -18,6 +18,7 @@ package membank
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -218,6 +219,144 @@ func (bo bankObs) observe(cfg Config, bank int, arrive, bStart, bEnd sim.Time) {
 		obs.Arg{Key: "depth", Val: depth})
 }
 
+// pickFn chooses the target bank for one access, drawing from the
+// processor's rng as the pattern requires. Draw count per access must not
+// depend on simulated time, so the stepped and goroutine accessors consume
+// the rng identically.
+type pickFn func(pid int, rng *rand.Rand) int
+
+// patternPick returns the bank chooser for a stress pattern.
+func patternPick(cfg Config, pat Pattern) pickFn {
+	switch pat {
+	case Conflict:
+		return func(int, *rand.Rand) int { return 0 }
+	case NoConflict:
+		return func(pid int, _ *rand.Rand) int { return (pid + 1) % cfg.Banks }
+	default:
+		// A random word of a random remote bank.
+		return func(_ int, rng *rand.Rand) int { return rng.Intn(cfg.Banks) }
+	}
+}
+
+// oneAccess performs the non-blocking middle of an access — the shared
+// medium (if any) and bank reservations plus their observations — at the
+// instant the request issues (after ReqOverhead). It returns the time the
+// reply reaches the processor. Both accessor forms call it between their two
+// waits.
+func oneAccess(now sim.Time, cfg Config, bank int, banks []*sim.Server, medium *sim.Server, bo bankObs) sim.Time {
+	arrive := now + cfg.WireLatency
+	if medium != nil {
+		mStart, mEnd := medium.UseAt(now, cfg.MediumTime)
+		arrive = mEnd + cfg.WireLatency
+		if bo.rec != nil {
+			bo.rec.Span(bo.pid, cfg.Banks, "medium", "frame", uint64(mStart), uint64(mEnd))
+		}
+	}
+	bStart, bEnd := banks[bank].UseAt(arrive, cfg.BankTime)
+	bo.observe(cfg, bank, arrive, bStart, bEnd)
+	return bEnd + cfg.WireLatency
+}
+
+// goAccessor is the goroutine form of a processor: n synchronous accesses,
+// each a ReqOverhead advance, the reservations, and an advance to the reply.
+// It is the reference semantics the stepped form must reproduce exactly.
+func goAccessor(cfg Config, pick pickFn, n int, banks []*sim.Server, medium *sim.Server, bo bankObs, totals []sim.Time, pid int) func(*sim.Proc) {
+	return func(p *sim.Proc) {
+		rng := p.Rand()
+		start := p.Now()
+		for a := 0; a < n; a++ {
+			bank := pick(pid, rng)
+			t0 := p.Now()
+			p.Advance(cfg.ReqOverhead)
+			done := oneAccess(p.Now(), cfg, bank, banks, medium, bo)
+			p.Advance(done - p.Now())
+			bo.cycles.Observe(float64(p.Now() - t0))
+		}
+		totals[pid] = p.Now() - start
+	}
+}
+
+// stepAccessor is the state-machine form of the same processor: a two-state
+// Step function the event loop drives directly, with no goroutine. Each
+// access is one trip around stBegin (pick the bank, sleep through the issue
+// overhead) and stService (make the reservations, sleep until the reply).
+// Every rng draw, Server reservation and event-slot consumption happens in
+// the same order as goAccessor's, so runs are byte-identical between forms;
+// TestSteppedMatchesGoroutine pins this.
+func stepAccessor(cfg Config, pick pickFn, n int, banks []*sim.Server, medium *sim.Server, bo bankObs, totals []sim.Time, pid int) sim.StepFn {
+	const (
+		stBegin   = iota // at the top of the access loop (or just woken by a reply)
+		stService        // woken after ReqOverhead: issue the access
+	)
+	state := stBegin
+	first := true
+	a := 0
+	var start, t0 sim.Time
+	var bank int
+	return func(sp *sim.StepProc) sim.Status {
+		switch state {
+		case stBegin:
+			if first {
+				first = false
+				start = sp.Now()
+			} else {
+				bo.cycles.Observe(float64(sp.Now() - t0))
+			}
+			if a == n {
+				totals[pid] = sp.Now() - start
+				return sim.StepDone
+			}
+			bank = pick(pid, sp.Rand())
+			t0 = sp.Now()
+			state = stService
+			return sp.Sleep(cfg.ReqOverhead)
+		default: // stService
+			done := oneAccess(sp.Now(), cfg, bank, banks, medium, bo)
+			a++
+			state = stBegin
+			return sp.SleepUntil(done)
+		}
+	}
+}
+
+// spawnAccessors starts one processor per pid in whichever form
+// sim.UseStepProcs selects, with the per-pid seed derivation both forms
+// share.
+func spawnAccessors(e *sim.Engine, cfg Config, pick pickFn, n int, banks []*sim.Server, medium *sim.Server, bo bankObs, totals []sim.Time, seed int64) {
+	for pid := 0; pid < cfg.Procs; pid++ {
+		name := fmt.Sprintf("proc%d", pid)
+		pseed := int64(stats.Mix64(uint64(seed), uint64(pid)))
+		if sim.UseStepProcs {
+			e.SpawnStepSeeded(name, pseed, stepAccessor(cfg, pick, n, banks, medium, bo, totals, pid))
+		} else {
+			e.SpawnSeeded(name, pseed, goAccessor(cfg, pick, n, banks, medium, bo, totals, pid))
+		}
+	}
+}
+
+// finish runs the simulation and folds the per-processor totals and bank
+// busy-cycles into a Result.
+func finish(e *sim.Engine, cfg Config, pat Pattern, n int, banks []*sim.Server, totals []sim.Time) Result {
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	var sum float64
+	for _, t := range totals {
+		sum += float64(t)
+	}
+	avg := sum / float64(cfg.Procs) / float64(n)
+	var maxUtil float64
+	end := float64(e.Now())
+	for _, b := range banks {
+		if end > 0 {
+			if u := float64(b.BusyCycles()) / end; u > maxUtil {
+				maxUtil = u
+			}
+		}
+	}
+	return Result{Config: cfg, Pattern: pat, Accesses: n, AvgCycles: avg, MaxBankUtil: maxUtil}
+}
+
 // RunObserved is Run with an observability recorder (nil behaves exactly
 // like Run): per-bank queue-depth histograms, contention counters, an
 // end-to-end access-time histogram, and bank-occupancy trace spans keyed by
@@ -240,59 +379,8 @@ func RunObserved(cfg Config, pat Pattern, accessesPerProc int, seed int64, rec *
 		medium = e.NewServer()
 	}
 	totals := make([]sim.Time, cfg.Procs)
-	for pid := 0; pid < cfg.Procs; pid++ {
-		pid := pid
-		e.SpawnSeeded(fmt.Sprintf("proc%d", pid), int64(stats.Mix64(uint64(seed), uint64(pid))), func(p *sim.Proc) {
-			rng := p.Rand()
-			start := p.Now()
-			for a := 0; a < accessesPerProc; a++ {
-				var bank int
-				switch pat {
-				case Conflict:
-					bank = 0
-				case NoConflict:
-					bank = (pid + 1) % cfg.Banks
-				default:
-					// A random word of a random remote bank.
-					bank = rng.Intn(cfg.Banks)
-				}
-				t0 := p.Now()
-				p.Advance(cfg.ReqOverhead)
-				arrive := p.Now() + cfg.WireLatency
-				if medium != nil {
-					mStart, mEnd := medium.UseAt(p.Now(), cfg.MediumTime)
-					arrive = mEnd + cfg.WireLatency
-					if bo.rec != nil {
-						bo.rec.Span(bo.pid, cfg.Banks, "medium", "frame", uint64(mStart), uint64(mEnd))
-					}
-				}
-				bStart, bEnd := banks[bank].UseAt(arrive, cfg.BankTime)
-				bo.observe(cfg, bank, arrive, bStart, bEnd)
-				done := bEnd + cfg.WireLatency
-				p.Advance(done - p.Now())
-				bo.cycles.Observe(float64(p.Now() - t0))
-			}
-			totals[pid] = p.Now() - start
-		})
-	}
-	if err := e.Run(); err != nil {
-		panic(err)
-	}
-	var sum float64
-	for _, t := range totals {
-		sum += float64(t)
-	}
-	avg := sum / float64(cfg.Procs) / float64(accessesPerProc)
-	var maxUtil float64
-	end := float64(e.Now())
-	for _, b := range banks {
-		if end > 0 {
-			if u := float64(b.BusyCycles()) / end; u > maxUtil {
-				maxUtil = u
-			}
-		}
-	}
-	return Result{Config: cfg, Pattern: pat, Accesses: accessesPerProc, AvgCycles: avg, MaxBankUtil: maxUtil}
+	spawnAccessors(e, cfg, patternPick(cfg, pat), accessesPerProc, banks, medium, bo, totals, seed)
+	return finish(e, cfg, pat, accessesPerProc, banks, totals)
 }
 
 // RunAll measures every pattern on cfg.
@@ -328,44 +416,15 @@ func RunHotFraction(cfg Config, hotFrac float64, accessesPerProc int, seed int64
 		medium = e.NewServer()
 	}
 	totals := make([]sim.Time, cfg.Procs)
-	for pid := 0; pid < cfg.Procs; pid++ {
-		pid := pid
-		e.SpawnSeeded(fmt.Sprintf("proc%d", pid), int64(stats.Mix64(uint64(seed), uint64(pid))), func(p *sim.Proc) {
-			rng := p.Rand()
-			start := p.Now()
-			for a := 0; a < accessesPerProc; a++ {
-				bank := rng.Intn(cfg.Banks)
-				if rng.Float64() < hotFrac {
-					bank = 0
-				}
-				p.Advance(cfg.ReqOverhead)
-				arrive := p.Now() + cfg.WireLatency
-				if medium != nil {
-					_, mEnd := medium.UseAt(p.Now(), cfg.MediumTime)
-					arrive = mEnd + cfg.WireLatency
-				}
-				_, bEnd := banks[bank].UseAt(arrive, cfg.BankTime)
-				p.Advance(bEnd + cfg.WireLatency - p.Now())
-			}
-			totals[pid] = p.Now() - start
-		})
-	}
-	if err := e.Run(); err != nil {
-		panic(err)
-	}
-	var sum float64
-	for _, t := range totals {
-		sum += float64(t)
-	}
-	avg := sum / float64(cfg.Procs) / float64(accessesPerProc)
-	var maxUtil float64
-	end := float64(e.Now())
-	for _, b := range banks {
-		if end > 0 {
-			if u := float64(b.BusyCycles()) / end; u > maxUtil {
-				maxUtil = u
-			}
+	// Both draws happen on every access so the rng stream is pattern-shaped
+	// only by hotFrac, not by which branch wins.
+	pick := func(_ int, rng *rand.Rand) int {
+		bank := rng.Intn(cfg.Banks)
+		if rng.Float64() < hotFrac {
+			bank = 0
 		}
+		return bank
 	}
-	return Result{Config: cfg, Pattern: Random, Accesses: accessesPerProc, AvgCycles: avg, MaxBankUtil: maxUtil}
+	spawnAccessors(e, cfg, pick, accessesPerProc, banks, medium, bankObs{}, totals, seed)
+	return finish(e, cfg, Random, accessesPerProc, banks, totals)
 }

@@ -1,0 +1,177 @@
+package sim
+
+import "sort"
+
+// calQueue is a calendar-queue scheduler (Brown, CACM 1988): pending events
+// hash into nbuckets "days" of width cycles each, and popping scans forward
+// from the current day, returning the head of the first bucket whose head
+// falls inside the day's current-year window. When the event population is
+// spread evenly over time — the shape membank's overloaded banks and the
+// machine's NIC pipelines produce — each operation touches O(1) events,
+// versus the heap's O(log n) sift.
+//
+// Ordering: bucket width never splits a timestamp (all events with equal at
+// hash to the same bucket), buckets are kept sorted by (at, seq), and a push
+// behind the current day rewinds the scan position, so popMin yields exactly
+// the (at, seq) order the 4-ary heap yields. The engine's differential tests
+// assert the two schedulers produce byte-identical experiment tables.
+//
+// Resizes (grow at >2 events/bucket, shrink at <1/2) sample the live events
+// to pick a width near the mean inter-event gap. Every decision is a pure
+// function of the push/pop sequence, so runs stay deterministic.
+type calQueue struct {
+	buckets  [][]*event
+	nbuckets int  // power of two
+	mask     int  // nbuckets - 1
+	width    Time // bucket span in cycles
+	count    int
+	day      int  // bucket index the scan is on
+	topAt    Time // exclusive end of the current day's window
+}
+
+const (
+	calMinBuckets = 16
+	calSampleMax  = 64
+)
+
+func newCalQueue() *calQueue {
+	q := &calQueue{nbuckets: calMinBuckets, mask: calMinBuckets - 1, width: 1}
+	q.buckets = make([][]*event, q.nbuckets)
+	return q
+}
+
+func (q *calQueue) Len() int { return q.count }
+
+// bucketOf maps a timestamp to its bucket index.
+func (q *calQueue) bucketOf(t Time) int {
+	return int(t/q.width) & q.mask
+}
+
+// windowEnd returns the exclusive end of the day window containing t.
+func (q *calQueue) windowEnd(t Time) Time {
+	return (t/q.width + 1) * q.width
+}
+
+// push inserts ev in (at, seq) position within its bucket. A push into a
+// window behind the scan position rewinds the scan so the event is not
+// missed until the next wraparound.
+func (q *calQueue) push(ev *event) {
+	if q.count >= 2*q.nbuckets {
+		q.resize(q.nbuckets * 2)
+	}
+	b := q.bucketOf(ev.at)
+	s := q.buckets[b]
+	// Insert from the back: new events usually carry the latest (at, seq).
+	i := len(s)
+	s = append(s, ev)
+	for i > 0 && eventLess(ev, s[i-1]) {
+		s[i] = s[i-1]
+		i--
+	}
+	s[i] = ev
+	q.buckets[b] = s
+	q.count++
+	if ev.at < q.topAt-q.width {
+		q.day = b
+		q.topAt = q.windowEnd(ev.at)
+	}
+}
+
+// peek returns the earliest event without removing it, or nil if empty. It
+// advances the scan position as a side effect, so a peek that lands on a due
+// event leaves the queue positioned for an O(1) repeat peek or pop — the
+// shape the engine's cohort drain produces.
+func (q *calQueue) peek() *event {
+	if q.count == 0 {
+		return nil
+	}
+	for i := 0; i < q.nbuckets; i++ {
+		if s := q.buckets[q.day]; len(s) > 0 && s[0].at < q.topAt {
+			return s[0]
+		}
+		q.day = (q.day + 1) & q.mask
+		q.topAt += q.width
+	}
+	// A whole year of empty windows: jump straight to the global minimum.
+	min := q.findMin()
+	q.day = q.bucketOf(min.at)
+	q.topAt = q.windowEnd(min.at)
+	return min
+}
+
+// popMin removes and returns the earliest event, or nil if empty.
+func (q *calQueue) popMin() *event {
+	ev := q.peek()
+	if ev == nil {
+		return nil
+	}
+	s := q.buckets[q.day]
+	copy(s, s[1:])
+	s[len(s)-1] = nil
+	q.buckets[q.day] = s[:len(s)-1]
+	q.count--
+	if q.count < q.nbuckets/2 && q.nbuckets > calMinBuckets {
+		q.resize(q.nbuckets / 2)
+	}
+	return ev
+}
+
+// findMin scans every bucket for the global (at, seq) minimum. Only reached
+// when the population is sparse relative to the year, right before the scan
+// position jumps to the result.
+func (q *calQueue) findMin() *event {
+	var min *event
+	for _, s := range q.buckets {
+		if len(s) > 0 && (min == nil || eventLess(s[0], min)) {
+			min = s[0]
+		}
+	}
+	return min
+}
+
+// resize rebuilds the calendar with n buckets and a width picked from the
+// mean gap of a sample of the live events, then re-seats the scan position
+// at the earliest event.
+func (q *calQueue) resize(n int) {
+	evs := make([]*event, 0, q.count)
+	for _, s := range q.buckets {
+		evs = append(evs, s...)
+	}
+	sort.Slice(evs, func(i, j int) bool { return eventLess(evs[i], evs[j]) })
+
+	q.width = sampleWidth(evs)
+	q.nbuckets = n
+	q.mask = n - 1
+	q.buckets = make([][]*event, n)
+	q.count = 0
+	if len(evs) > 0 {
+		q.day = q.bucketOf(evs[0].at)
+		q.topAt = q.windowEnd(evs[0].at)
+	}
+	for _, ev := range evs {
+		b := q.bucketOf(ev.at)
+		q.buckets[b] = append(q.buckets[b], ev)
+		q.count++
+	}
+}
+
+// sampleWidth estimates a bucket width from the head of the sorted event
+// list: three times the mean inter-event gap (Brown's rule of thumb), so a
+// day holds a few events. Equal-timestamp bursts contribute zero gaps and
+// shrink the width toward 1, which the same-time ring in front of the
+// scheduler already absorbs.
+func sampleWidth(sorted []*event) Time {
+	k := len(sorted)
+	if k > calSampleMax {
+		k = calSampleMax
+	}
+	if k < 2 {
+		return 1
+	}
+	span := sorted[k-1].at - sorted[0].at
+	w := 3 * span / Time(k-1)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCalQueueOrderProperty pushes randomized schedules through the calendar
+// queue and a reference 4-ary heap and checks both pop identical (at, seq)
+// sequences, including interleaved push/pop phases that force resizes and
+// scan-position rewinds.
+func TestCalQueueOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		q := newCalQueue()
+		h := &eventHeap{}
+		var seq uint64
+		push := func(at Time) {
+			ev1 := &event{at: at, seq: seq}
+			ev2 := &event{at: at, seq: seq}
+			seq++
+			q.push(ev1)
+			h.push(ev2)
+		}
+		check := func() {
+			a, b := q.popMin(), h.popMin()
+			if (a == nil) != (b == nil) {
+				t.Fatalf("trial %d: calendar empty=%v heap empty=%v", trial, a == nil, b == nil)
+			}
+			if a != nil && (a.at != b.at || a.seq != b.seq) {
+				t.Fatalf("trial %d: calendar popped (%d,%d), heap (%d,%d)", trial, a.at, a.seq, b.at, b.seq)
+			}
+		}
+		var now Time
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(3) {
+			case 0, 1:
+				// Bias toward clustered times to hit same-bucket inserts and
+				// occasionally far-future ones to leave year gaps.
+				d := Time(rng.Intn(8))
+				if rng.Intn(10) == 0 {
+					d = Time(rng.Intn(100000))
+				}
+				push(now + d)
+			default:
+				if nxt := q.peek(); nxt != nil && nxt.at > now {
+					now = nxt.at
+				}
+				check()
+			}
+		}
+		for q.Len() > 0 || h.Len() > 0 {
+			check()
+		}
+	}
+}
+
+// TestCalQueueRewind pins the push-behind-window path: after draining far
+// into the future, a push at an earlier time must still pop first.
+func TestCalQueueRewind(t *testing.T) {
+	q := newCalQueue()
+	q.push(&event{at: 1000, seq: 0})
+	if got := q.peek(); got.at != 1000 {
+		t.Fatalf("peek = %d, want 1000", got.at)
+	}
+	q.push(&event{at: 50, seq: 1})
+	if got := q.popMin(); got.at != 50 {
+		t.Fatalf("popMin = %d, want 50 (rewind failed)", got.at)
+	}
+	if got := q.popMin(); got.at != 1000 {
+		t.Fatalf("popMin = %d, want 1000", got.at)
+	}
+	if q.popMin() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestEngineCalendarMatchesHeap runs an identical mixed simulation on both
+// schedulers and checks the runs agree on final time and event count — the
+// engine-level form of the order property.
+func TestEngineCalendarMatchesHeap(t *testing.T) {
+	run := func(kind Scheduler) (Time, uint64) {
+		e := NewEngineSched(kind)
+		c := e.NewChan()
+		for i := 0; i < 8; i++ {
+			d := Time(1 + i%5)
+			e.SpawnSeeded("p", int64(i), func(p *Proc) {
+				rng := p.Rand()
+				for j := 0; j < 200; j++ {
+					p.Advance(Time(rng.Intn(int(3*d)) + 1))
+					c.SendAfter(d, j)
+				}
+			})
+		}
+		e.Spawn("drain", func(p *Proc) {
+			for i := 0; i < 8*200; i++ {
+				c.Recv(p)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Events()
+	}
+	ht, hn := run(SchedHeap)
+	ct, cn := run(SchedCalendar)
+	if ht != ct || hn != cn {
+		t.Errorf("heap run (t=%d, events=%d) != calendar run (t=%d, events=%d)", ht, hn, ct, cn)
+	}
+}
+
+// TestDefaultSchedulerSelection checks NewEngine honours the package-level
+// scheduler switch.
+func TestDefaultSchedulerSelection(t *testing.T) {
+	old := DefaultScheduler
+	defer func() { DefaultScheduler = old }()
+	DefaultScheduler = SchedCalendar
+	if e := NewEngine(); e.cal == nil {
+		t.Error("DefaultScheduler=calendar did not select the calendar queue")
+	}
+	DefaultScheduler = SchedHeap
+	if e := NewEngine(); e.cal != nil {
+		t.Error("DefaultScheduler=heap selected the calendar queue")
+	}
+}

@@ -14,7 +14,23 @@ type Chan struct {
 	buf     []interface{} // ring storage; len(buf) is the capacity
 	head    int           // index of the oldest value
 	count   int           // number of buffered values
-	waiters []*Proc
+	waiters []waiter
+}
+
+// waiter is a blocked process of either kind, queued FIFO on a waiting
+// primitive. Exactly one field is non-nil.
+type waiter struct {
+	p  *Proc
+	sp *StepProc
+}
+
+// wake schedules a resume of w at the current instant, whichever kind it is.
+func (e *Engine) wake(w waiter) {
+	if w.p != nil {
+		e.scheduleProc(e.now, w.p)
+	} else {
+		e.scheduleStep(e.now, w.sp)
+	}
 }
 
 // NewChan creates a channel bound to engine e.
@@ -23,13 +39,16 @@ func (e *Engine) NewChan() *Chan { return &Chan{e: e} }
 // Send makes v available to receivers immediately.
 func (c *Chan) Send(v interface{}) { c.deliver(v) }
 
-// SendAfter makes v available to receivers d cycles from now.
+// SendAfter makes v available to receivers d cycles from now. The in-flight
+// value rides on the event itself (the engine's wire-delay shuttle) rather
+// than in a closure, so a simulated message in transit costs no allocation
+// beyond its event struct.
 func (c *Chan) SendAfter(d Time, v interface{}) {
 	if d == 0 {
 		c.deliver(v)
 		return
 	}
-	c.e.schedule(c.e.now+d, func() { c.deliver(v) })
+	c.e.scheduleDeliver(c.e.now+d, c, v)
 }
 
 func (c *Chan) deliver(v interface{}) {
@@ -41,7 +60,7 @@ func (c *Chan) deliver(v interface{}) {
 	if len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
-		c.e.scheduleProc(c.e.now, w)
+		c.e.wake(w)
 	}
 }
 
@@ -73,10 +92,25 @@ func (c *Chan) take() interface{} {
 func (c *Chan) Recv(p *Proc) interface{} {
 	p.checkCurrent("Chan.Recv")
 	for c.count == 0 {
-		c.waiters = append(c.waiters, p)
+		c.waiters = append(c.waiters, waiter{p: p})
 		p.blockOn("chan recv")
 	}
 	return c.take()
+}
+
+// RecvStep is Recv for state-machine processes. On success it returns the
+// oldest value and StepDone is NOT implied — the caller continues its step.
+// When the channel is empty it queues sp as a waiter and returns ok=false
+// with st = sp.Waiting(...); the step function must return st immediately,
+// and its next invocation (after a send wakes it) retries the receive.
+// Like Recv's loop, a retry can find the channel empty again if an earlier
+// waiter took the value first.
+func (c *Chan) RecvStep(sp *StepProc) (v interface{}, ok bool, st Status) {
+	if c.count == 0 {
+		c.waiters = append(c.waiters, waiter{sp: sp})
+		return nil, false, sp.Waiting("chan recv")
+	}
+	return c.take(), true, StepDone
 }
 
 // TryRecv removes and returns the oldest value without blocking. The second

@@ -2,13 +2,31 @@
 //
 // The engine advances a virtual clock measured in processor cycles and
 // executes events in (time, sequence) order. Simulated activities are
-// expressed as processes: ordinary Go functions that run on their own
-// goroutine but are scheduled cooperatively, one at a time, by the engine.
-// A process blocks by calling one of the waiting primitives (Advance, Wait,
-// Recv, Acquire); control then returns to the engine, which resumes the
-// process when the corresponding event fires. Because exactly one process
-// runs at any instant and all ties are broken by sequence number, a
-// simulation with a fixed seed is fully reproducible.
+// expressed as processes of two kinds:
+//
+//   - Goroutine processes (Proc): ordinary Go functions that run on their
+//     own goroutine but are scheduled cooperatively, one at a time, by the
+//     engine. A process blocks by calling one of the waiting primitives
+//     (Advance, Wait, Recv, Acquire); control then returns to the engine,
+//     which resumes the process when the corresponding event fires. Each
+//     resumption costs two goroutine context switches. This is the API for
+//     user-authored algorithms, whose control flow reads naturally as
+//     straight-line code.
+//
+//   - State-machine processes (StepProc): explicit Step functions the event
+//     loop calls directly, with no goroutine and no per-resume context
+//     switch. The engine's hottest built-in process types (the membank bank
+//     accessors) use this form; see stepproc.go.
+//
+// Both kinds interleave in the same (time, seq) order, so converting a
+// process between forms leaves a simulation's results byte-identical.
+// Because exactly one process runs at any instant and all ties are broken
+// by sequence number, a simulation with a fixed seed is fully reproducible.
+//
+// Events scheduled for the current instant bypass the time-ordered
+// scheduler and drain through a FIFO ring (the same-timestamp cohort), and
+// the scheduler behind the future-event queue is selectable: the default
+// 4-ary heap or a calendar queue (see Scheduler).
 //
 // Engines are single-threaded and carry no shared state, so independent
 // engines may run concurrently on separate goroutines; the experiment
@@ -39,14 +57,55 @@ var totalEvents atomic.Uint64
 // counts when Run returns.
 func TotalEvents() uint64 { return totalEvents.Load() }
 
+// Scheduler names a pending-event queue implementation.
+type Scheduler string
+
+// Available schedulers. SchedHeap is the default. Measured honestly
+// (BenchmarkHeapVsCalendarQueue, DESIGN.md): the calendar queue wins where
+// scheduler operations dominate — 2-3× per event on pure stepped-process
+// schedules, a few percent end-to-end on membank/fig7 — and ties on
+// goroutine-dominated workloads where the context switch is the cost. The
+// heap stays the default because its O(log n) bound holds for any schedule,
+// while the calendar queue degrades to full-bucket scans on schedules whose
+// event spacing defeats its width estimate; SchedCalendar is the measured
+// opt-in, not a heuristic.
+const (
+	SchedHeap     Scheduler = "heap"
+	SchedCalendar Scheduler = "calendar"
+)
+
+// DefaultScheduler selects the scheduler NewEngine uses. It exists so one
+// switch (cmd/qsmbench -sched) can steer every engine an experiment builds,
+// including those built on worker goroutines; set it before engines are
+// created, not while simulations run. Results are byte-identical under
+// either scheduler — only wall-clock speed differs.
+var DefaultScheduler = SchedHeap
+
+// UseStepProcs selects whether converted subsystems (internal/membank) run
+// their hot processes as state-machine StepProcs (true, the default) or as
+// goroutine Procs. Both modes produce byte-identical simulation results;
+// the goroutine mode exists for differential testing and as the reference
+// semantics. Set it before engines are created, not while simulations run.
+var UseStepProcs = true
+
 // Engine is a deterministic discrete-event simulator. The zero value is not
 // usable; create engines with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
+	now Time
+	seq uint64
+
+	// Pending events live in one of two places: nowq, a FIFO ring holding
+	// the remainder of the current instant's cohort (events scheduled for
+	// t == now while the engine executes that instant), and the
+	// time-ordered scheduler behind it — the 4-ary heap by default, or the
+	// calendar queue when selected. Exactly one of cal/heap is active.
+	heap eventHeap
+	cal  *calQueue
+	nowq eventRing
+
 	free    []*event // recycled event structs, refilled as events fire
 	procs   []*Proc
+	steps   []*StepProc
 	yieldCh chan *Proc
 	current *Proc
 	stopped bool
@@ -61,9 +120,17 @@ type Engine struct {
 	obsDwell   *obs.Histogram
 }
 
-// NewEngine returns an empty engine at time zero.
-func NewEngine() *Engine {
-	return &Engine{yieldCh: make(chan *Proc)}
+// NewEngine returns an empty engine at time zero using DefaultScheduler.
+func NewEngine() *Engine { return NewEngineSched(DefaultScheduler) }
+
+// NewEngineSched returns an empty engine at time zero using the named
+// scheduler.
+func NewEngineSched(kind Scheduler) *Engine {
+	e := &Engine{yieldCh: make(chan *Proc)}
+	if kind == SchedCalendar {
+		e.cal = newCalQueue()
+	}
+	return e
 }
 
 // Now returns the current simulated time.
@@ -90,19 +157,28 @@ func (e *Engine) Observe(r *obs.Recorder) {
 // Recorder returns the recorder attached with Observe, or nil.
 func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
-// Reset returns a finished engine to time zero so it can be reused for a
-// fresh simulation without reallocating its queue storage or event free
-// list. It panics if any spawned process has not finished: abandoning a
-// blocked process would leak its goroutine. Events() deliberately survives
-// Reset (see its doc); only the clock, queue, and process table are cleared.
+// Reset returns the engine to time zero so it can be reused for a fresh
+// simulation without reallocating its queue storage or event free list.
+// Goroutine processes still blocked — abandoned by Stop, or left mid-wait by
+// a caller discarding a deadlocked run — are terminated: each one is resumed
+// with a kill sentinel that unwinds its goroutine (running its defers), so
+// Stop→Reset→reuse leaks nothing. Events() deliberately survives Reset (see
+// its doc); the clock, queues, and process tables are cleared.
 func (e *Engine) Reset() {
 	for _, p := range e.procs {
 		if !p.done {
-			panic(fmt.Sprintf("sim: Reset with process %q still blocked", p.name))
+			e.kill(p)
 		}
 	}
 	for {
-		ev := e.queue.popMin()
+		ev := e.qpop()
+		if ev == nil {
+			break
+		}
+		e.recycle(ev)
+	}
+	for {
+		ev := e.nowq.pop()
 		if ev == nil {
 			break
 		}
@@ -111,8 +187,18 @@ func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
 	e.procs = e.procs[:0]
+	e.steps = e.steps[:0]
 	e.current = nil
 	e.stopped = false
+}
+
+// kill terminates a blocked goroutine process: it is resumed with the killed
+// flag set, panics with the kill sentinel at its block point, and its spawn
+// wrapper recovers the sentinel and yields back one final time.
+func (e *Engine) kill(p *Proc) {
+	p.killed = true
+	p.resume <- struct{}{}
+	<-e.yieldCh
 }
 
 // newEvent takes a struct off the free list or allocates one.
@@ -137,15 +223,67 @@ func (e *Engine) newEvent(t Time) *event {
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.proc = nil
+	ev.sp = nil
+	ev.ch = nil
+	ev.val = nil
 	e.free = append(e.free, ev)
+}
+
+// qpush enqueues a pending event: the same-timestamp ring when it fires at
+// the current instant (append order is seq order there), the time-ordered
+// scheduler otherwise.
+func (e *Engine) qpush(ev *event) {
+	if ev.at == e.now {
+		e.nowq.push(ev)
+	} else if e.cal != nil {
+		e.cal.push(ev)
+	} else {
+		e.heap.push(ev)
+	}
+	e.obsQueueHW.Set(int64(e.pending()))
+}
+
+// qpop removes the earliest event from the time-ordered scheduler.
+func (e *Engine) qpop() *event {
+	if e.cal != nil {
+		return e.cal.popMin()
+	}
+	return e.heap.popMin()
+}
+
+// pending returns the total number of queued events across both stores.
+func (e *Engine) pending() int {
+	n := e.heap.Len() + e.nowq.count
+	if e.cal != nil {
+		n += e.cal.Len()
+	}
+	return n
+}
+
+// peekLive returns the scheduler's earliest live event without removing it,
+// recycling any cancelled events found at the front. nil means the
+// time-ordered scheduler is empty (the nowq ring may still hold events).
+func (e *Engine) peekLive() *event {
+	for {
+		var ev *event
+		if e.cal != nil {
+			ev = e.cal.peek()
+		} else {
+			ev = e.heap.peek()
+		}
+		if ev == nil || !ev.cancelled {
+			return ev
+		}
+		e.qpop()
+		e.recycle(ev)
+	}
 }
 
 // schedule enqueues fn to run at time t. Ties are broken in schedule order.
 func (e *Engine) schedule(t Time, fn func()) *event {
 	ev := e.newEvent(t)
 	ev.fn = fn
-	e.queue.push(ev)
-	e.obsQueueHW.Set(int64(e.queue.Len()))
+	e.qpush(ev)
 	return ev
 }
 
@@ -154,8 +292,26 @@ func (e *Engine) schedule(t Time, fn func()) *event {
 func (e *Engine) scheduleProc(t Time, p *Proc) *event {
 	ev := e.newEvent(t)
 	ev.proc = p
-	e.queue.push(ev)
-	e.obsQueueHW.Set(int64(e.queue.Len()))
+	e.qpush(ev)
+	return ev
+}
+
+// scheduleStep enqueues a step of sp at time t, closure-free.
+func (e *Engine) scheduleStep(t Time, sp *StepProc) *event {
+	ev := e.newEvent(t)
+	ev.sp = sp
+	e.qpush(ev)
+	return ev
+}
+
+// scheduleDeliver enqueues delivery of v to channel c at time t — the
+// closure-free wire-delay shuttle behind Chan.SendAfter, which carries every
+// simulated message in flight through the machine and logp stacks.
+func (e *Engine) scheduleDeliver(t Time, c *Chan, v interface{}) *event {
+	ev := e.newEvent(t)
+	ev.ch = c
+	ev.val = v
+	e.qpush(ev)
 	return ev
 }
 
@@ -166,15 +322,33 @@ func (e *Engine) At(t Time, fn func()) { e.schedule(t, fn) }
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn func()) { e.schedule(e.now+d, fn) }
 
-// popEvent removes and returns the next live event, recycling any cancelled
-// ones it skips. It returns nil when the queue is empty.
-func (e *Engine) popEvent() *event {
+// nextEvent returns the next live event in (time, seq) order, advancing the
+// clock when the current instant's cohort is exhausted. The cohort drains in
+// two legs that together follow seq order: scheduler events that reached
+// the current timestamp first (they were scheduled from earlier instants,
+// so their seqs are the cohort's lowest), then the nowq ring of events
+// scheduled during the instant itself. Only a cohort boundary touches the
+// time-ordered scheduler, so same-timestamp bursts cost O(1) ring
+// operations instead of heap sifts.
+func (e *Engine) nextEvent() *event {
 	for {
-		ev := e.queue.popMin()
-		if ev == nil || !ev.cancelled {
+		nxt := e.peekLive()
+		switch {
+		case nxt != nil && nxt.at == e.now:
+			return e.qpop()
+		case e.nowq.count > 0:
+			ev := e.nowq.pop()
+			if ev.cancelled {
+				e.recycle(ev)
+				continue
+			}
 			return ev
+		case nxt != nil:
+			e.now = nxt.at
+			return e.qpop()
+		default:
+			return nil
 		}
-		e.recycle(ev)
 	}
 }
 
@@ -188,16 +362,25 @@ func (e *Engine) Run() error {
 		e.obsEvents.Add(e.nEvents - start)
 	}()
 	for !e.stopped {
-		ev := e.popEvent()
+		ev := e.nextEvent()
 		if ev == nil {
 			break
 		}
-		e.now = ev.at
 		e.nEvents++
-		if p := ev.proc; p != nil {
+		switch {
+		case ev.proc != nil:
+			p := ev.proc
 			e.recycle(ev)
 			e.runProc(p)
-		} else {
+		case ev.sp != nil:
+			sp := ev.sp
+			e.recycle(ev)
+			e.runStep(sp)
+		case ev.ch != nil:
+			c, v := ev.ch, ev.val
+			e.recycle(ev)
+			c.deliver(v)
+		default:
 			fn := ev.fn
 			e.recycle(ev)
 			fn()
@@ -216,6 +399,11 @@ func (e *Engine) Run() error {
 			blocked = append(blocked, BlockedProc{Name: p.name, Reason: reason, Since: p.blockedAt})
 		}
 	}
+	for _, sp := range e.steps {
+		if !sp.done && sp.waitReason != "" {
+			blocked = append(blocked, BlockedProc{Name: sp.name, Reason: sp.waitReason, Since: sp.blockedAt})
+		}
+	}
 	if len(blocked) > 0 && !e.stopped {
 		sort.Slice(blocked, func(i, j int) bool { return blocked[i].Name < blocked[j].Name })
 		names := make([]string, len(blocked))
@@ -228,7 +416,7 @@ func (e *Engine) Run() error {
 }
 
 // Stop halts the engine after the current event completes. Blocked processes
-// are abandoned; Run returns nil.
+// are abandoned (Reset terminates them); Run returns nil.
 func (e *Engine) Stop() { e.stopped = true }
 
 // BlockedProc describes one process stuck in a deadlock: what primitive it

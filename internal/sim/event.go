@@ -5,14 +5,20 @@ package sim
 // recycled through the engine's free list, so a caller must not retain an
 // *event past its firing time; Cancel on a still-pending event is fine.
 //
-// The common case — resuming a blocked process — carries the *Proc directly
-// in proc instead of wrapping it in a closure, so the per-event closure
-// allocation disappears from the engine's hot path.
+// The hot cases carry their target directly instead of wrapping it in a
+// closure, so the per-event closure allocation disappears from the engine's
+// hot path: proc resumes a blocked goroutine process, sp steps a
+// state-machine process, and ch/val deliver a value to a channel after a
+// wire delay (the "shuttle" behind Chan.SendAfter and every simulated
+// message in flight). fn remains for general scheduled callbacks.
 type event struct {
 	at        Time
 	seq       uint64
 	fn        func()
 	proc      *Proc
+	sp        *StepProc
+	ch        *Chan
+	val       interface{}
 	cancelled bool
 }
 
@@ -20,18 +26,29 @@ type event struct {
 // event is a no-op.
 func (ev *event) Cancel() { ev.cancelled = true }
 
-// eventHeap is a concrete 4-ary min-heap ordered by (at, seq). The wide node
-// halves the tree depth of the binary heap it replaced, and the monomorphic
-// methods avoid container/heap's interface boxing on every push and pop.
-type eventHeap struct{ evs []*event }
-
-func (h *eventHeap) Len() int { return len(h.evs) }
-
+// eventLess orders events by (at, seq): the scheduler invariant every queue
+// implementation (4-ary heap, calendar queue, same-time ring) must preserve.
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
+}
+
+// eventHeap is a concrete 4-ary min-heap ordered by (at, seq). The wide node
+// halves the tree depth of the binary heap it replaced, and the monomorphic
+// methods avoid container/heap's interface boxing on every push and pop.
+// It is the engine's default scheduler; see calQueue for the alternative.
+type eventHeap struct{ evs []*event }
+
+func (h *eventHeap) Len() int { return len(h.evs) }
+
+// peek returns the earliest event without removing it, or nil if empty.
+func (h *eventHeap) peek() *event {
+	if len(h.evs) == 0 {
+		return nil
+	}
+	return h.evs[0]
 }
 
 // push inserts ev, sifting it up to its (at, seq) position.
@@ -87,4 +104,48 @@ func (h *eventHeap) popMin() *event {
 		h.evs[i] = last
 	}
 	return min
+}
+
+// eventRing is the engine's same-timestamp cohort FIFO: events scheduled for
+// the current instant bypass the time-ordered scheduler entirely and drain
+// in append order. Because the engine assigns seq monotonically, append
+// order IS (at, seq) order for events that share the current timestamp, so
+// the ring preserves the determinism invariant while turning the O(log n)
+// sift per same-time event into an O(1) ring operation.
+type eventRing struct {
+	evs   []*event
+	head  int
+	count int
+}
+
+func (r *eventRing) push(ev *event) {
+	if r.count == len(r.evs) {
+		r.grow()
+	}
+	r.evs[(r.head+r.count)%len(r.evs)] = ev
+	r.count++
+}
+
+func (r *eventRing) pop() *event {
+	if r.count == 0 {
+		return nil
+	}
+	ev := r.evs[r.head]
+	r.evs[r.head] = nil
+	r.head = (r.head + 1) % len(r.evs)
+	r.count--
+	return ev
+}
+
+func (r *eventRing) grow() {
+	capc := 2 * len(r.evs)
+	if capc < 16 {
+		capc = 16
+	}
+	nb := make([]*event, capc)
+	for i := 0; i < r.count; i++ {
+		nb[i] = r.evs[(r.head+i)%len(r.evs)]
+	}
+	r.evs = nb
+	r.head = 0
 }

@@ -126,19 +126,29 @@ func TestResetReuse(t *testing.T) {
 	}
 }
 
-// TestResetBlockedPanics pins Reset's refusal to abandon a blocked process
-// (which would leak its goroutine).
-func TestResetBlockedPanics(t *testing.T) {
+// TestResetTerminatesBlocked pins Reset terminating a still-blocked process
+// (its goroutine unwinds via the kill sentinel, running defers) so a
+// deadlocked engine can be reset and reused.
+func TestResetTerminatesBlocked(t *testing.T) {
 	e := NewEngine()
 	s := e.NewSignal()
-	e.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	cleaned := false
+	e.Spawn("stuck", func(p *Proc) {
+		defer func() { cleaned = true }()
+		s.Wait(p)
+	})
 	if err := e.Run(); err == nil {
 		t.Fatal("expected deadlock error")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Reset with a blocked process did not panic")
-		}
-	}()
 	e.Reset()
+	if !cleaned {
+		t.Error("blocked process's defer did not run during Reset")
+	}
+	e.Spawn("fresh", func(p *Proc) { p.Advance(5) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("run after Reset: %v", err)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now() after reuse = %d, want 5", e.Now())
+	}
 }

@@ -5,6 +5,12 @@ import (
 	"math/rand"
 )
 
+// procKill is the sentinel the engine panics a process goroutine with to
+// terminate it at its block point (Reset terminating processes abandoned by
+// Stop or a discarded deadlock). Spawn's deferred handler recognises it and
+// unwinds the goroutine without recording an error.
+type procKill struct{}
+
 // Proc is a simulated process: a Go function scheduled cooperatively by the
 // engine. All methods on Proc must be called from within the process's own
 // function; they are not safe to call from outside the simulation.
@@ -14,6 +20,7 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	killed bool
 	err    error
 	rng    *rand.Rand
 
@@ -39,11 +46,18 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
-				p.err = fmt.Errorf("panic: %v", r)
+				if _, isKill := r.(procKill); !isKill {
+					p.err = fmt.Errorf("panic: %v", r)
+				}
 			}
 			p.done = true
 			e.yieldCh <- p
 		}()
+		if p.killed {
+			// Terminated before its first step (Stop before the spawn
+			// event fired): unwind without running the body.
+			return
+		}
 		fn(p)
 	}()
 	e.scheduleProc(e.now, p)
@@ -84,6 +98,9 @@ func (p *Proc) block() {
 	p.blockedAt = p.e.now
 	p.e.yieldCh <- p
 	<-p.resume
+	if p.killed {
+		panic(procKill{})
+	}
 	if p.waitReason != "" {
 		p.e.obsDwell.Observe(float64(p.e.now - p.blockedAt))
 		p.waitReason = ""

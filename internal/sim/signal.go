@@ -5,7 +5,7 @@ package sim
 // until the next Fire.
 type Signal struct {
 	e       *Engine
-	waiters []*Proc
+	waiters []waiter
 }
 
 // NewSignal creates a signal bound to engine e.
@@ -14,8 +14,16 @@ func (e *Engine) NewSignal() *Signal { return &Signal{e: e} }
 // Wait blocks the calling process until the signal fires.
 func (s *Signal) Wait(p *Proc) {
 	p.checkCurrent("Signal.Wait")
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, waiter{p: p})
 	p.blockOn("signal wait")
+}
+
+// WaitStep is Wait for state-machine processes: it queues sp as a waiter and
+// returns the StepWaiting status the step function must return immediately;
+// the next invocation runs after the signal fires.
+func (s *Signal) WaitStep(sp *StepProc) Status {
+	s.waiters = append(s.waiters, waiter{sp: sp})
+	return sp.Waiting("signal wait")
 }
 
 // Fire wakes all processes currently waiting, in the order they began
@@ -24,7 +32,7 @@ func (s *Signal) Fire() {
 	waiters := s.waiters
 	s.waiters = nil
 	for _, w := range waiters {
-		s.e.scheduleProc(s.e.now, w)
+		s.e.wake(w)
 	}
 }
 

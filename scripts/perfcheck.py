@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Gate events/sec against the committed BENCH_<id>.json baselines.
+
+Usage:
+    perfcheck.py --baseline bench --fresh /tmp/bench [--tolerance 0.25] id...
+
+For each experiment id, loads bench/BENCH_<id>.json (the committed baseline)
+and /tmp/bench/BENCH_<id>.json (just produced by `qsmbench -json`) and fails
+if the fresh events_per_sec falls more than --tolerance below the baseline.
+The sim_events counts must match exactly: a drifting event count means the
+simulation changed, which is a correctness problem the perf gate must not
+paper over.
+
+The tolerance is generous (default 25%) because the baseline is refreshed on
+a developer machine while the gate runs on CI hardware; regenerate the
+baselines (see EXPERIMENTS.md) whenever an intentional engine change moves
+throughput.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        rec = json.load(f)
+    # A combined `-json file.json` array also works; take the first record.
+    return rec[0] if isinstance(rec, list) else rec
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True, help="directory of committed BENCH_<id>.json files")
+    ap.add_argument("--fresh", required=True, help="directory of freshly produced BENCH_<id>.json files")
+    ap.add_argument("--tolerance", type=float, default=0.25, help="allowed fractional slowdown vs baseline")
+    ap.add_argument("ids", nargs="+")
+    args = ap.parse_args()
+
+    failed = False
+    for eid in args.ids:
+        base = load(pathlib.Path(args.baseline) / f"BENCH_{eid}.json")
+        fresh = load(pathlib.Path(args.fresh) / f"BENCH_{eid}.json")
+        b, f = base["events_per_sec"], fresh["events_per_sec"]
+        floor = b * (1.0 - args.tolerance)
+        ratio = f / b if b else float("inf")
+        line = f"{eid}: baseline {b:,.0f} ev/s, fresh {f:,.0f} ev/s ({ratio:.2f}x, floor {floor:,.0f})"
+        if base["sim_events"] != fresh["sim_events"]:
+            print(f"FAIL {line} — sim_events {base['sim_events']} -> {fresh['sim_events']}: "
+                  "the simulation itself changed; fix determinism before regenerating baselines")
+            failed = True
+        elif f < floor:
+            print(f"FAIL {line}")
+            failed = True
+        else:
+            print(f"ok   {line}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
