@@ -336,11 +336,14 @@ func computeEntry(fingerprint, key, id string, opt experiments.Options, metrics 
 }
 
 // runRemote submits each experiment to a qsmd server, polls the job to
-// completion, and prints the cached tables.
+// completion, and prints the cached tables. Each experiment runs under its
+// own trace ID, propagated on every request (submit, polls, result fetch)
+// so a -trace'd server stitches the whole conversation into one job trace.
 func runRemote(baseURL string, ids []string, seed int64, runs int, quick, progress bool) error {
 	c := &service.Client{BaseURL: baseURL}
 	ctx := context.Background()
 	for _, id := range ids {
+		c.TraceID = obs.NewTraceID()
 		js, err := c.Submit(ctx, service.SubmitRequest{Experiment: id, Seed: seed, Runs: runs, Quick: quick})
 		if err != nil {
 			return err
@@ -373,7 +376,7 @@ func runRemote(baseURL string, ids []string, seed int64, runs int, quick, progre
 		if js.Cached {
 			served = "server cache hit"
 		}
-		fmt.Printf("[%s %s in %.1fs, key %s]\n\n", id, served, js.ElapsedSeconds, shortKey(js.ResultKey))
+		fmt.Printf("[%s %s in %.1fs, key %s, trace %s]\n\n", id, served, js.ElapsedSeconds, shortKey(js.ResultKey), c.TraceID)
 	}
 	return nil
 }

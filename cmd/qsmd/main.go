@@ -10,6 +10,7 @@
 //	qsmd [-addr 127.0.0.1:8344] [-cache qsmd-cache] [-queue 64]
 //	     [-workers 2] [-parallel 0] [-lru 128] [-drain 60s]
 //	     [-job-timeout 0] [-retries 0] [-faults spec] [-fault-seed 1]
+//	     [-log-level info] [-trace] [-trace-spans N]
 //
 // -job-timeout bounds each execution attempt and -retries gives failed
 // (non-cancelled) jobs a bounded retry budget. -faults arms the
@@ -19,15 +20,28 @@
 // http_error, http_drop; -fault-seed picks the schedule. The same seed and
 // spec replay the same fault schedule.
 //
+// Observability: every request runs under a trace ID (adopted from the
+// X-Qsm-Trace header or minted per request) that appears on each structured
+// log line the request or its job emits. -trace additionally records
+// wall-clock spans across every serving layer; a job's merged wall + sim
+// trace is exported at /v1/jobs/{id}/trace for Perfetto. -log-level selects
+// debug, info, warn, or error (logfmt text on stderr).
+//
 // API:
 //
-//	POST   /v1/jobs          {"experiment":"fig7","seed":1,"runs":2,"quick":true}
-//	GET    /v1/jobs          list jobs
-//	GET    /v1/jobs/{id}     job status (queued → running → done/failed)
-//	DELETE /v1/jobs/{id}     cancel a job
-//	GET    /v1/results/{key} cached result (tables + bench + metrics JSON)
-//	GET    /healthz          liveness and drain state
-//	GET    /metricsz         metrics registry as Prometheus text
+//	POST   /v1/jobs            {"experiment":"fig7","seed":1,"runs":2,"quick":true}
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       job status (queued → running → done/failed)
+//	GET    /v1/jobs/{id}/trace merged wall + sim Perfetto trace (with -trace)
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/results/{key}   cached result (tables + bench + metrics JSON)
+//	GET    /healthz            liveness and drain state
+//	GET    /metricsz           metrics registry as Prometheus text
+//	GET    /statusz            live introspection snapshot (JSON)
+//	GET    /debug/pprof/       runtime profiling (CPU, heap, goroutines, ...)
+//
+// /debug/pprof and /statusz sit outside the fault-injection middleware so
+// the server stays debuggable mid-chaos-drill.
 //
 // On SIGTERM/SIGINT the server stops accepting HTTP, drains queued and
 // in-flight jobs (cancelling them through their contexts if -drain expires)
@@ -36,16 +50,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -63,21 +79,31 @@ func main() {
 		retries    = flag.Int("retries", 0, "extra attempts for failed non-cancelled jobs")
 		faultSpec  = flag.String("faults", "", "fault-injection rules, class:every:max[:delay],... (chaos drills)")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		traceOn    = flag.Bool("trace", false, "record wall-clock spans for every serving layer (export at /v1/jobs/{id}/trace)")
+		traceSpans = flag.Int("trace-spans", 0, "wall-span buffer bound (0 = default)")
 	)
 	flag.Parse()
-	log.SetPrefix("qsmd: ")
-	log.SetFlags(log.LstdFlags)
+	logger := obs.NewLogger(os.Stderr, obs.ParseLogLevel(*logLevel))
+	fatal := func(err error) {
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
+	}
 
 	inj, err := faults.FromSpec(*faultSeed, *faultSpec)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if inj != nil {
-		log.Printf("fault injection armed: seed %d, spec %q", *faultSeed, *faultSpec)
+		logger.Info("fault injection armed", "seed", *faultSeed, "spec", *faultSpec)
+	}
+	var tracer *obs.WallTracer
+	if *traceOn {
+		tracer = obs.NewWallTracer(*traceSpans)
 	}
 	st, err := store.OpenConfig(store.Config{Dir: *cacheDir, MaxMem: *lru, Faults: inj})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sched, err := service.New(service.Config{
 		Store:          st,
@@ -85,38 +111,59 @@ func main() {
 		Workers:        *workers,
 		SimParallelism: *parallel,
 		CollectMetrics: true,
+		CollectTrace:   *traceOn,
 		JobTimeout:     *jobTimeout,
 		JobRetries:     *retries,
 		Faults:         inj,
+		Log:            logger,
+		Tracer:         tracer,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: faults.Middleware(inj, sched.Handler())}
+	// The API runs traced and fault-injected (trace middleware outermost, so
+	// injected aborts still commit their request span); the debug surface
+	// bypasses both so profiling and introspection survive chaos drills.
+	mux := http.NewServeMux()
+	mux.Handle("/", sched.TraceMiddleware(faults.Middleware(inj, sched.Handler())))
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(sched.Status())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Printf("signal received, shutting down HTTP")
+		logger.Info("signal received, shutting down HTTP")
 		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
-			log.Printf("http shutdown: %v", err)
+			logger.Warn("http shutdown", "err", err)
 		}
 	}()
 
-	log.Printf("listening on %s (cache %s, queue %d, workers %d, fingerprint %s)",
-		*addr, st.Dir(), *queueCap, *workers, sched.Fingerprint())
+	logger.Info("listening",
+		"addr", *addr, "cache", st.Dir(), "queue", *queueCap, "workers", *workers,
+		"trace", *traceOn, "fingerprint", sched.Fingerprint())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := sched.Drain(drainCtx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+		logger.Error("drain incomplete", "err", err)
 		os.Exit(1)
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }

@@ -1,0 +1,196 @@
+// Command qsmtop is a live terminal dashboard for a running qsmd: it polls
+// the server's /statusz and /metricsz endpoints and renders a one-screen
+// view of the serving stack — queue depth, per-state job counts, scheduler
+// counters, store health and degradation, fault-injection fire counts, and
+// the busiest service metrics.
+//
+// Usage:
+//
+//	qsmtop [-server http://127.0.0.1:8344] [-interval 2s]
+//	qsmtop -once            # one plain snapshot (no screen control), for CI
+//
+// In live mode the screen redraws every -interval until interrupted; -once
+// prints a single snapshot and exits (non-zero when the server is
+// unreachable), which is what the CI smoke uses.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "http://127.0.0.1:8344", "qsmd base URL")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval in live mode")
+		once     = flag.Bool("once", false, "print one snapshot and exit (no screen control)")
+		metricsN = flag.Int("metrics", 8, "service metric lines to show (0 hides the section)")
+	)
+	flag.Parse()
+	base := strings.TrimRight(*server, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *once {
+		if err := render(os.Stdout, client, base, *metricsN); err != nil {
+			fmt.Fprintf(os.Stderr, "qsmtop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		var b strings.Builder
+		err := render(&b, client, base, *metricsN)
+		// Clear and home only once the frame is built, so a slow poll
+		// doesn't leave a blank screen.
+		fmt.Print("\x1b[2J\x1b[H")
+		if err != nil {
+			fmt.Printf("qsmtop: %v (retrying every %s)\n", err, *interval)
+		} else {
+			fmt.Print(b.String())
+		}
+		select {
+		case <-sig:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// render fetches one /statusz + /metricsz snapshot and writes the dashboard
+// frame to w.
+func render(w io.Writer, client *http.Client, base string, metricsN int) error {
+	var st service.Status
+	if err := getJSON(client, base+"/statusz", &st); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "qsmd %s — up %s — fingerprint %s — %s\n",
+		base, fmtDuration(time.Duration(st.UptimeSeconds*float64(time.Second))),
+		st.Fingerprint, time.Now().Format("15:04:05"))
+	state := "serving"
+	if st.Draining {
+		state = "DRAINING"
+	}
+	fmt.Fprintf(w, "state   %-10s workers %d   goroutines %d\n", state, st.Workers, st.Goroutines)
+	fmt.Fprintf(w, "queue   %d/%d waiting\n", st.Queue.Depth, st.Queue.Capacity)
+	fmt.Fprintf(w, "jobs    queued %d   running %d   done %d   failed %d   (total %d)\n",
+		st.Jobs.Queued, st.Jobs.Running, st.Jobs.Done, st.Jobs.Failed, st.Jobs.Total)
+	fmt.Fprintf(w, "sched   submitted %d   cache hit/miss %d/%d   retried %d   rejected %d   failed %d   inflight %d\n",
+		st.Scheduler.Submitted, st.Scheduler.CacheHits, st.Scheduler.CacheMisses,
+		st.Scheduler.Retried, st.Scheduler.Rejected, st.Scheduler.Failed, st.Scheduler.Inflight)
+	fmt.Fprintf(w, "store   mem %d   read-errors %d   checksum-fail %d   quarantined %d   degraded reads/writes %d/%d\n",
+		st.Store.MemEntries, st.Store.ReadErrors, st.Store.ChecksumFailures,
+		st.Store.EntriesQuarantined, st.Store.ReadsDegraded, st.Store.WritesDegraded)
+	if st.TraceEnabled {
+		fmt.Fprintf(w, "trace   on   %d wall spans (%d dropped)\n", st.WallSpans, st.WallDropped)
+	} else {
+		fmt.Fprintf(w, "trace   off\n")
+	}
+	if st.Faults.Armed {
+		fmt.Fprintf(w, "faults  armed   %s\n", fmtFaults(st.Faults.Injected))
+	} else {
+		fmt.Fprintf(w, "faults  unarmed\n")
+	}
+
+	if metricsN > 0 {
+		lines, err := serviceMetrics(client, base+"/metricsz", metricsN)
+		if err != nil {
+			return err
+		}
+		if len(lines) > 0 {
+			fmt.Fprintf(w, "\nservice metrics (top %d of /metricsz)\n", len(lines))
+			for _, l := range lines {
+				fmt.Fprintf(w, "  %s\n", l)
+			}
+		}
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// serviceMetrics scrapes /metricsz and returns up to n service-subsystem
+// sample lines (skipping comments), already sorted by the exporter.
+func serviceMetrics(client *http.Client, url string, n int) ([]string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, l := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(l, "qsm_service_") {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return lines, nil
+}
+
+// fmtFaults renders the per-class fire counts, fired classes first.
+func fmtFaults(injected map[string]uint64) string {
+	classes := make([]string, 0, len(injected))
+	for c := range injected {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		if injected[classes[i]] != injected[classes[j]] {
+			return injected[classes[i]] > injected[classes[j]]
+		}
+		return classes[i] < classes[j]
+	})
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s %d", c, injected[c]))
+	}
+	if len(parts) == 0 {
+		return "(no classes)"
+	}
+	return strings.Join(parts, "   ")
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	case d >= time.Minute:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}

@@ -7,14 +7,23 @@
 //
 //	qsmtrace -alg sort -n 65536 -p 16 > timeline.csv
 //	qsmtrace -alg sort -trace sort.json   # Chrome trace JSON for Perfetto
+//	qsmtrace -inspect sort.json merged.json
 //
 // With -trace FILE the run additionally collects sim-time spans through
 // internal/obs — per-node superstep sync/compute spans and the underlying
 // engine metrics — and writes them as Chrome trace-event JSON, loadable in
 // Perfetto or chrome://tracing. The CSV timeline still goes to stdout.
+//
+// With -inspect the remaining arguments are trace files to validate instead
+// of running a simulation: each is parsed as Chrome trace-event JSON and
+// checked structurally (an event array, well-formed spans, matching
+// metadata). A one-line summary per file goes to stdout; missing or
+// malformed files get a stderr diagnostic and a non-zero exit (never silent
+// partial output), so CI can gate on exported traces being loadable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,8 +42,12 @@ func main() {
 		p         = flag.Int("p", 16, "processors")
 		seed      = flag.Int64("seed", 1, "random seed")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON file of the run's sim-time spans")
+		inspect   = flag.Bool("inspect", false, "validate the trace files given as arguments instead of simulating")
 	)
 	flag.Parse()
+	if *inspect {
+		os.Exit(inspectFiles(flag.Args()))
+	}
 
 	in := workload.UniformInts(*n, 0, *seed)
 	input := func(id, pp int) []int64 {
@@ -72,10 +85,13 @@ func main() {
 			os.Exit(1)
 		}
 		if err := rec.WriteTraceJSON(f); err != nil {
+			f.Close()
+			os.Remove(*traceFile) // no silent partial trace files
 			fmt.Fprintf(os.Stderr, "qsmtrace: writing trace: %v\n", err)
 			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {
+			os.Remove(*traceFile)
 			fmt.Fprintf(os.Stderr, "qsmtrace: %v\n", err)
 			os.Exit(1)
 		}
@@ -91,4 +107,105 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "qsmtrace: %s n=%d p=%d: total %d cycles, comm %d cycles (bottleneck)\n",
 		*alg, *n, *p, m.RunStats().TotalCycles, m.RunStats().MaxComm())
+}
+
+// inspectFiles validates each file as Chrome trace-event JSON and prints a
+// per-file summary. It returns the process exit code: 0 when every file is
+// well-formed, 1 when any is missing or malformed, 2 on usage error.
+func inspectFiles(files []string) int {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "qsmtrace: -inspect needs at least one trace file argument")
+		return 2
+	}
+	code := 0
+	for _, path := range files {
+		summary, err := inspectTrace(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qsmtrace: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s: %s\n", path, summary)
+	}
+	return code
+}
+
+// traceEvent is the subset of a Chrome trace event -inspect checks. Numeric
+// fields are pointers so "present but zero" and "absent" stay distinct.
+type traceEvent struct {
+	Ph   string          `json:"ph"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Name string          `json:"name"`
+	Args json.RawMessage `json:"args"`
+}
+
+// inspectTrace parses and structurally validates one trace file, returning a
+// human-readable summary.
+func inspectTrace(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	if len(data) == 0 {
+		return "", fmt.Errorf("empty file")
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		OtherData   map[string]any    `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return "", fmt.Errorf("malformed JSON: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		return "", fmt.Errorf("no traceEvents array (not a Chrome trace file?)")
+	}
+	var spans, meta, instants int
+	pids := map[int]bool{}
+	for i, raw := range doc.TraceEvents {
+		var ev traceEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return "", fmt.Errorf("event %d: malformed: %v", i, err)
+		}
+		if ev.Pid == nil {
+			return "", fmt.Errorf("event %d (%q): missing pid", i, ev.Name)
+		}
+		pids[*ev.Pid] = true
+		switch ev.Ph {
+		case "X":
+			if ev.Name == "" || ev.Ts == nil || ev.Dur == nil {
+				return "", fmt.Errorf("event %d: complete span missing name/ts/dur", i)
+			}
+			if *ev.Dur < 0 {
+				return "", fmt.Errorf("event %d (%q): negative duration %v", i, ev.Name, *ev.Dur)
+			}
+			spans++
+		case "M":
+			if ev.Name == "" {
+				return "", fmt.Errorf("event %d: metadata event missing name", i)
+			}
+			meta++
+		case "i", "I":
+			if ev.Name == "" || ev.Ts == nil {
+				return "", fmt.Errorf("event %d: instant event missing name/ts", i)
+			}
+			instants++
+		case "":
+			return "", fmt.Errorf("event %d (%q): missing ph", i, ev.Name)
+		default:
+			// Other phases are legal Chrome trace constructs we don't emit;
+			// count nothing but accept them.
+		}
+	}
+	if spans+instants == 0 {
+		return "", fmt.Errorf("no span or instant events (empty trace)")
+	}
+	summary := fmt.Sprintf("ok: %d spans, %d instants, %d metadata events, %d process rows",
+		spans, instants, meta, len(pids))
+	if id, ok := doc.OtherData["traceId"].(string); ok && id != "" {
+		summary += ", trace ID " + id
+	}
+	return summary, nil
 }

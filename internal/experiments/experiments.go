@@ -46,6 +46,14 @@ type Options struct {
 	// context's error instead of a Result. Already-started simulations run
 	// to completion; cancellation takes effect at job granularity.
 	Context context.Context
+	// Wall, when non-nil, receives one wall-clock span per (point, run) job
+	// on the "runner" layer row, tagged with TraceID — this is how serving-
+	// stack traces attribute real time to individual sweep points. Nil (the
+	// default) records nothing and costs nothing.
+	Wall *obs.WallTracer
+	// TraceID tags the Wall spans; empty spans are still recorded but cannot
+	// be filtered into a per-request trace.
+	TraceID string
 }
 
 // Progress reports one completed job of a sweep.

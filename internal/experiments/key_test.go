@@ -22,6 +22,9 @@ func TestOptionsKeyCoversOptions(t *testing.T) {
 		"Obs":      true,
 		"Progress": true,
 		"Context":  true,
+		// Wall-clock tracing observes real time only, never results.
+		"Wall":    true,
+		"TraceID": true,
 	}
 	rt := reflect.TypeOf(Options{})
 	for i := 0; i < rt.NumField(); i++ {

@@ -150,7 +150,9 @@ func sweepRuns[T any](opt Options, points, runs int, fn func(point, run int, rec
 		if err := opt.ctxErr(); err != nil {
 			panic(&sweepCancelled{err})
 		}
+		sp := opt.wallSpan(i/runs, i%runs)
 		v := fn(i/runs, i%runs, opt.Obs.Recorder(base+i))
+		sp.End()
 		pt.jobDone(i / runs)
 		return v
 	})
@@ -170,8 +172,20 @@ func sweepPoints[T any](opt Options, points int, fn func(point int, rec *obs.Rec
 		if err := opt.ctxErr(); err != nil {
 			panic(&sweepCancelled{err})
 		}
+		sp := opt.wallSpan(i, 0)
 		v := fn(i, opt.Obs.Recorder(base+i))
+		sp.End()
 		pt.jobDone(i)
 		return v
 	})
+}
+
+// wallSpan opens the wall-clock span for one (point, run) job, or nil (a
+// no-op to End) when wall tracing is off. The guard keeps the disabled path
+// free of the span-name allocation.
+func (o Options) wallSpan(point, run int) *obs.WallSpan {
+	if o.Wall == nil {
+		return nil
+	}
+	return o.Wall.Start(o.TraceID, "runner", "sweep", fmt.Sprintf("point %d run %d", point, run))
 }

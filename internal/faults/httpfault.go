@@ -1,6 +1,10 @@
 package faults
 
-import "net/http"
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
 
 // Middleware wraps an HTTP handler with the injector's HTTP fault classes:
 // HTTPDrop aborts the response mid-flight (the client observes a connection
@@ -8,17 +12,27 @@ import "net/http"
 // replaces the response with a 503 carrying the service's JSON error shape
 // (exercising the status-code retry path). A nil injector passes every
 // request through untouched.
+//
+// When the request context carries an obs.TraceContext (the service's trace
+// middleware runs outside this one), every injected HTTP fault is recorded
+// against the request's trace: an instant span event on the http row and a
+// structured log line carrying both the trace ID and the fault class.
 func Middleware(inj *Injector, next http.Handler) http.Handler {
 	if inj == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tc := obs.TraceContextFrom(r.Context())
 		if inj.Fire(HTTPDrop) {
+			tc.Instant("http", "fault:"+HTTPDrop.String(), obs.WArg{Key: "fault", Val: HTTPDrop.String()})
+			tc.Logger().Warn("injected http fault", "fault", HTTPDrop.String(), "method", r.Method, "path", r.URL.Path)
 			// net/http recovers ErrAbortHandler quietly and closes the
 			// connection without writing a response.
 			panic(http.ErrAbortHandler)
 		}
 		if err := inj.Err(HTTPError, "http "+r.Method+" "+r.URL.Path); err != nil {
+			tc.Instant("http", "fault:"+HTTPError.String(), obs.WArg{Key: "fault", Val: HTTPError.String()})
+			tc.Logger().Warn("injected http fault", "fault", HTTPError.String(), "method", r.Method, "path", r.URL.Path)
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)
 			w.Write([]byte(`{"error":"` + err.Error() + `"}` + "\n"))

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentUse is the -race proof for the metrics path's
+// concurrency discipline: parallel workers claim Sink indices and hammer
+// their own counters, gauges, and histograms concurrently (with handle reuse
+// inside each worker), then the merged aggregate must balance exactly.
+func TestRegistryConcurrentUse(t *testing.T) {
+	sink := NewSink(Config{Metrics: true})
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idx := sink.Reserve(1)
+			r := sink.Recorder(idx)
+			c := r.Counter("engine", "events", "")
+			g := r.Gauge("engine", "depth", "")
+			h := r.Histogram("engine", "latency", "", []float64{10, 100})
+			for i := 0; i < each; i++ {
+				c.Inc()
+				r.Counter("engine", "events", "kind=labelled").Add(2)
+				g.Set(int64(i % 7))
+				h.Observe(float64(i))
+				// Cross-worker interleaving on the shared sink itself.
+				if i%100 == 0 {
+					_ = sink.Recorder(idx)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	m := sink.Merged()
+	if got := m.Counter("engine", "events", "").Value(); got != workers*each {
+		t.Errorf("merged plain counter = %d, want %d", got, workers*each)
+	}
+	if got := m.Counter("engine", "events", "kind=labelled").Value(); got != 2*workers*each {
+		t.Errorf("merged labelled counter = %d, want %d", got, 2*workers*each)
+	}
+	var b strings.Builder
+	if err := m.WritePrometheusText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "qsm_engine_latency_count 4000") {
+		t.Errorf("merged histogram count missing from exposition:\n%s", b.String())
+	}
+	lintPrometheusText(t, b.String())
+}
+
+// TestRegistryConcurrentMerges folds many live recorders into independent
+// aggregates in parallel — the pattern a server takes when multiple scrapes
+// race against job completion merges.
+func TestRegistryConcurrentMerges(t *testing.T) {
+	parts := make([]*Recorder, 16)
+	for i := range parts {
+		parts[i] = New(Config{Metrics: true})
+		parts[i].Counter("s", "n", "").Add(uint64(i + 1))
+		parts[i].Histogram("s", "h", "", []float64{1}).Observe(float64(i))
+	}
+	var wg sync.WaitGroup
+	for m := 0; m < 8; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			agg := New(Config{Metrics: true})
+			for _, p := range parts {
+				agg.Merge(p)
+			}
+			if got := agg.Counter("s", "n", "").Value(); got != 136 { // 1+2+...+16
+				t.Errorf("merged counter = %d, want 136", got)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,152 @@
+package obs
+
+// Request-scoped structured logging for the serving stack, built on
+// log/slog and nil-safe in the same way the metrics Recorder is: a nil
+// *Logger accepts every call and emits nothing, so layers log
+// unconditionally and pay one nil check when logging is off. Loggers are
+// derived with With so every line a request or job emits carries its trace
+// ID, job key, and attempt — the chaos smoke greps exactly those fields to
+// prove a fault fired inside a traced request.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Logger is a nil-safe wrapper over *slog.Logger.
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger returns a Logger writing logfmt-style text lines
+// (key=value pairs, greppable) at or above level to w.
+func NewLogger(w io.Writer, level slog.Leveler) *Logger {
+	return &Logger{s: slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))}
+}
+
+// NewSlogLogger wraps an existing slog logger; nil yields the inert Logger.
+func NewSlogLogger(s *slog.Logger) *Logger {
+	if s == nil {
+		return nil
+	}
+	return &Logger{s: s}
+}
+
+// ParseLogLevel maps "debug", "info", "warn", "error" to a slog level;
+// anything else (including "") is info.
+func ParseLogLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// Enabled reports whether the logger emits anything.
+func (l *Logger) Enabled() bool { return l != nil }
+
+// With returns a logger whose lines all carry the given attributes.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l != nil {
+		l.s.Debug(msg, args...)
+	}
+}
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, args ...any) {
+	if l != nil {
+		l.s.Info(msg, args...)
+	}
+}
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l != nil {
+		l.s.Warn(msg, args...)
+	}
+}
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, args ...any) {
+	if l != nil {
+		l.s.Error(msg, args...)
+	}
+}
+
+// TraceContext is the per-request (or per-job) observability bundle carried
+// through context.Context: the trace ID, the process-wide wall tracer, and a
+// logger already annotated with the trace ID. The nil *TraceContext is valid
+// and inert, so deep layers (the store, the fault middleware) consult it
+// unconditionally.
+type TraceContext struct {
+	ID     string
+	Tracer *WallTracer
+	Log    *Logger
+}
+
+type traceCtxKey struct{}
+
+// WithTraceContext attaches tc to ctx.
+func WithTraceContext(ctx context.Context, tc *TraceContext) context.Context {
+	if tc == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom extracts the trace context from ctx, or nil.
+func TraceContextFrom(ctx context.Context) *TraceContext {
+	if ctx == nil {
+		return nil
+	}
+	tc, _ := ctx.Value(traceCtxKey{}).(*TraceContext)
+	return tc
+}
+
+// Start opens a wall-clock span on the context's tracer, tagged with its
+// trace ID. Returns nil (safe to End) when tracing is off.
+func (tc *TraceContext) Start(layer, cat, name string, args ...WArg) *WallSpan {
+	if tc == nil {
+		return nil
+	}
+	return tc.Tracer.Start(tc.ID, layer, cat, name, args...)
+}
+
+// Instant records a point-in-time marker on the context's tracer.
+func (tc *TraceContext) Instant(layer, name string, args ...WArg) {
+	if tc == nil {
+		return
+	}
+	tc.Tracer.Instant(tc.ID, layer, name, args...)
+}
+
+// Logger returns the context's logger (nil-safe: a nil TraceContext yields
+// the inert logger).
+func (tc *TraceContext) Logger() *Logger {
+	if tc == nil {
+		return nil
+	}
+	return tc.Log
+}
+
+// TraceID returns the context's trace ID, or "" when untraced.
+func (tc *TraceContext) TraceID() string {
+	if tc == nil {
+		return ""
+	}
+	return tc.ID
+}

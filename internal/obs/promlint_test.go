@@ -1,0 +1,410 @@
+package obs
+
+// Prometheus exposition conformance for WritePrometheusText: a golden file
+// pinning the full output of a registry exercising every metric kind and
+// awkward-input case, plus a promlint-style structural validator enforcing
+// the text format 0.0.4 rules scrapers rely on — TYPE before samples, valid
+// metric-name and label syntax, counters suffixed _total, histogram buckets
+// cumulative and closed by +Inf, and _sum/_count consistency.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// conformanceRegistry builds a registry covering every family kind and the
+// awkward inputs the exporter must sanitise or escape.
+func conformanceRegistry() *Recorder {
+	r := New(Config{Metrics: true})
+	r.Counter("service", "jobs_submitted", "").Add(41)
+	r.Counter("membank", "accesses", "bank=1,op=read").Add(5)
+	r.Counter("membank", "accesses", "bank=1,op=write").Add(2)
+	r.Counter("sim-core", "events/sec", `kind=a"b\c`).Inc() // name + label escaping
+	g := r.Gauge("service", "queue_depth", "")
+	g.Set(7)
+	g.Set(3)
+	r.Gauge("service", "inflight", "worker=w-0").Set(1)
+	h := r.Histogram("service", "latency_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.002, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	hb := r.Histogram("store", "entry_bytes", "tier=mem", []float64{1024, 1048576})
+	hb.Observe(100)
+	hb.Observe(2e6) // lands in +Inf only
+	return r
+}
+
+func TestPrometheusGoldenFile(t *testing.T) {
+	var b strings.Builder
+	if err := conformanceRegistry().WritePrometheusText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "prometheus_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus exposition diverges from %s.\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+	lintPrometheusText(t, got)
+}
+
+// TestPrometheusLintServiceRegistry lints a second, independently shaped
+// registry so the validator is not tuned to the golden fixture.
+func TestPrometheusLintServiceRegistry(t *testing.T) {
+	r := New(Config{Metrics: true})
+	for i := 0; i < 3; i++ {
+		r.Counter("engine", "events", fmt.Sprintf("proc=p%d", i)).Add(uint64(100 * (i + 1)))
+	}
+	r.Gauge("engine", "heap_len", "").Set(12)
+	h := r.Histogram("engine", "queue_wait_cycles", "", []float64{10, 100, 1000, 10000, 1e6})
+	for i := 0; i < 50; i++ {
+		h.Observe(float64(i * i * i))
+	}
+	var b strings.Builder
+	if err := r.WritePrometheusText(&b); err != nil {
+		t.Fatal(err)
+	}
+	lintPrometheusText(t, b.String())
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// lintPrometheusText structurally validates a text-format 0.0.4 exposition.
+func lintPrometheusText(t *testing.T, text string) {
+	t.Helper()
+	types := map[string]string{} // family name -> type
+	var order []string
+	samples := map[string][]promSample{}
+	sawSampleFor := map[string]bool{}
+
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		ln := i + 1
+		if line == "" {
+			t.Errorf("line %d: empty line in exposition", ln)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				t.Errorf("line %d: comment is neither # TYPE nor # HELP: %q", ln, line)
+				continue
+			}
+			if fields[1] != "TYPE" {
+				continue
+			}
+			if len(fields) != 4 {
+				t.Errorf("line %d: malformed TYPE line: %q", ln, line)
+				continue
+			}
+			name, typ := fields[2], fields[3]
+			if !promNameRe.MatchString(name) {
+				t.Errorf("line %d: invalid metric name %q", ln, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Errorf("line %d: invalid metric type %q", ln, typ)
+			}
+			if _, dup := types[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for %q", ln, name)
+			}
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				t.Errorf("line %d: counter %q not suffixed _total", ln, name)
+			}
+			types[name] = typ
+			order = append(order, name)
+			continue
+		}
+
+		s, err := parsePromSample(line, ln)
+		if err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		fam := familyFor(s.name, types)
+		if fam == "" {
+			t.Errorf("line %d: sample %q has no preceding TYPE declaration", ln, s.name)
+			continue
+		}
+		if sawSampleFor[fam] && samples[fam][len(samples[fam])-1].line != ln-1 {
+			t.Errorf("line %d: samples of family %q are not contiguous", ln, fam)
+		}
+		sawSampleFor[fam] = true
+		samples[fam] = append(samples[fam], s)
+	}
+
+	for _, fam := range order {
+		fs := samples[fam]
+		if len(fs) == 0 {
+			t.Errorf("family %q declared but has no samples", fam)
+			continue
+		}
+		switch types[fam] {
+		case "counter", "gauge":
+			for _, s := range fs {
+				if s.name != fam {
+					t.Errorf("line %d: sample %q under %s family %q", s.line, s.name, types[fam], fam)
+				}
+				if types[fam] == "counter" && s.value < 0 {
+					t.Errorf("line %d: counter %q has negative value %v", s.line, s.name, s.value)
+				}
+			}
+		case "histogram":
+			lintHistogram(t, fam, fs)
+		}
+	}
+}
+
+// familyFor maps a sample name to its declared family: exact for counters
+// and gauges, the _bucket/_sum/_count suffixes for histograms.
+func familyFor(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+// parsePromSample parses `name{k="v",...} value`, checking name, label, and
+// escape syntax.
+func parsePromSample(line string, ln int) (promSample, error) {
+	s := promSample{labels: map[string]string{}, line: ln}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else {
+		nameEnd = strings.IndexByte(rest, ' ')
+		if nameEnd < 0 {
+			return s, fmt.Errorf("line %d: no value separator in %q", ln, line)
+		}
+	}
+	s.name = rest[:nameEnd]
+	if !promNameRe.MatchString(s.name) {
+		return s, fmt.Errorf("line %d: invalid metric name %q", ln, s.name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		end := strings.LastIndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("line %d: unterminated label set in %q", ln, line)
+		}
+		for _, pair := range splitLabels(rest[1:end]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !promLabelRe.MatchString(k) {
+				return s, fmt.Errorf("line %d: malformed label pair %q", ln, pair)
+			}
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return s, fmt.Errorf("line %d: label value %q not quoted", ln, v)
+			}
+			unq, err := unescapeLabel(v[1 : len(v)-1])
+			if err != nil {
+				return s, fmt.Errorf("line %d: label %s: %v", ln, k, err)
+			}
+			if _, dup := s.labels[k]; dup {
+				return s, fmt.Errorf("line %d: duplicate label %q", ln, k)
+			}
+			s.labels[k] = unq
+		}
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil && valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+		return s, fmt.Errorf("line %d: unparseable value %q", ln, valStr)
+	}
+	s.value = v
+	return s, nil
+}
+
+// splitLabels splits a label body on commas that are outside quotes.
+func splitLabels(body string) []string {
+	if body == "" {
+		return nil
+	}
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteByte(c)
+		case c == '\\' && inQuote:
+			escaped = true
+			cur.WriteByte(c)
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	out = append(out, cur.String())
+	return out
+}
+
+// unescapeLabel validates the \\, \", \n escapes the format allows; raw
+// control characters or stray backslashes are conformance failures.
+func unescapeLabel(v string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c == '\n' {
+			return "", fmt.Errorf("raw newline in label value")
+		}
+		if c == '"' {
+			return "", fmt.Errorf("unescaped quote in label value")
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(v) {
+			return "", fmt.Errorf("trailing backslash in label value")
+		}
+		switch v[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("invalid escape \\%c in label value", v[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// lintHistogram checks one histogram family: per-label-set cumulative
+// buckets with strictly increasing bounds closed by +Inf, and a _sum and
+// _count whose value matches the +Inf bucket.
+func lintHistogram(t *testing.T, fam string, fs []promSample) {
+	t.Helper()
+	type series struct {
+		buckets []promSample
+		sum     *promSample
+		count   *promSample
+	}
+	bySet := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		ks := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				ks = append(ks, k)
+			}
+		}
+		sort.Strings(ks)
+		var b strings.Builder
+		for _, k := range ks {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		return b.String()
+	}
+	for i := range fs {
+		s := fs[i]
+		key := keyOf(s.labels)
+		sr := bySet[key]
+		if sr == nil {
+			sr = &series{}
+			bySet[key] = sr
+		}
+		switch s.name {
+		case fam + "_bucket":
+			if _, ok := s.labels["le"]; !ok {
+				t.Errorf("line %d: %s_bucket without le label", s.line, fam)
+				continue
+			}
+			sr.buckets = append(sr.buckets, s)
+		case fam + "_sum":
+			sr.sum = &fs[i]
+		case fam + "_count":
+			sr.count = &fs[i]
+		}
+	}
+	for key, sr := range bySet {
+		if len(sr.buckets) == 0 {
+			t.Errorf("histogram %s{%s}: no buckets", fam, key)
+			continue
+		}
+		prevBound := float64(0)
+		prevCum := float64(-1)
+		sawInf := false
+		for i, b := range sr.buckets {
+			leStr := b.labels["le"]
+			var bound float64
+			if leStr == "+Inf" {
+				sawInf = true
+				if i != len(sr.buckets)-1 {
+					t.Errorf("line %d: histogram %s: +Inf bucket is not last", b.line, fam)
+				}
+			} else {
+				var err error
+				bound, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					t.Errorf("line %d: histogram %s: unparseable le=%q", b.line, fam, leStr)
+					continue
+				}
+				if i > 0 && bound <= prevBound {
+					t.Errorf("line %d: histogram %s: le bounds not increasing (%v after %v)", b.line, fam, bound, prevBound)
+				}
+				prevBound = bound
+			}
+			if b.value < prevCum {
+				t.Errorf("line %d: histogram %s: bucket counts not cumulative (%v after %v)", b.line, fam, b.value, prevCum)
+			}
+			prevCum = b.value
+		}
+		if !sawInf {
+			t.Errorf("histogram %s{%s}: missing +Inf bucket", fam, key)
+		}
+		if sr.sum == nil {
+			t.Errorf("histogram %s{%s}: missing _sum", fam, key)
+		}
+		if sr.count == nil {
+			t.Errorf("histogram %s{%s}: missing _count", fam, key)
+		} else if inf := sr.buckets[len(sr.buckets)-1]; sawInf && sr.count.value != inf.value {
+			t.Errorf("histogram %s{%s}: _count %v != +Inf bucket %v", fam, key, sr.count.value, inf.value)
+		}
+	}
+}

@@ -142,30 +142,38 @@ func (r *Recorder) WriteTraceJSON(w io.Writer) error {
 		bw.WriteString(line)
 	}
 	if r != nil && r.trace != nil {
-		for _, nm := range r.trace.names {
-			kind := "process_name"
-			if nm.thread {
-				kind = "thread_name"
-			}
-			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":%q,"args":{"name":%s}}`,
-				nm.pid, nm.tid, kind, strconv.Quote(nm.name)))
-		}
-		for _, ev := range r.trace.events {
-			line := fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"cat":%s,"name":%s`,
-				ev.Pid, ev.Tid, ev.Start, ev.End-ev.Start, strconv.Quote(ev.Cat), strconv.Quote(ev.Name))
-			if len(ev.Args) > 0 {
-				line += `,"args":{`
-				for i, a := range ev.Args {
-					if i > 0 {
-						line += ","
-					}
-					line += strconv.Quote(a.Key) + ":" + strconv.FormatInt(a.Val, 10)
-				}
-				line += "}"
-			}
-			emit(line + "}")
-		}
+		r.trace.emitTo(emit, 0)
 	}
 	bw.WriteString("\n  ]\n}\n")
 	return bw.Flush()
+}
+
+// emitTo renders the trace's naming and span events as Chrome trace-event
+// JSON lines with process ids shifted by pidBase, feeding each line to emit.
+// WriteTraceJSON uses it with base 0; WriteMergedTrace offsets the sim-time
+// rows past the wall-clock process row.
+func (t *Trace) emitTo(emit func(string), pidBase int) {
+	for _, nm := range t.names {
+		kind := "process_name"
+		if nm.thread {
+			kind = "thread_name"
+		}
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":%q,"args":{"name":%s}}`,
+			nm.pid+pidBase, nm.tid, kind, strconv.Quote(nm.name)))
+	}
+	for _, ev := range t.events {
+		line := fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"cat":%s,"name":%s`,
+			ev.Pid+pidBase, ev.Tid, ev.Start, ev.End-ev.Start, strconv.Quote(ev.Cat), strconv.Quote(ev.Name))
+		if len(ev.Args) > 0 {
+			line += `,"args":{`
+			for i, a := range ev.Args {
+				if i > 0 {
+					line += ","
+				}
+				line += strconv.Quote(a.Key) + ":" + strconv.FormatInt(a.Val, 10)
+			}
+			line += "}"
+		}
+		emit(line + "}")
+	}
 }

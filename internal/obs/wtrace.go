@@ -1,0 +1,342 @@
+package obs
+
+// This file is the wall-clock half of the observability layer. The sim-time
+// side (trace.go) records spans in simulated cycles from single-goroutine
+// Recorders; the wall-clock side records real elapsed time from the serving
+// stack — HTTP handling, queue wait, scheduler attempts, store I/O, runner
+// execution — where many goroutines trace concurrently into one process-wide
+// WallTracer. Spans carry a trace ID propagated end to end (the client sends
+// it in the X-Qsm-Trace header, the service stamps it on every span and log
+// line), so one job's journey can be filtered out of the shared buffer and
+// exported — merged with the job's sim-time spans — as a single
+// Perfetto-loadable Chrome trace file: one process row per serving layer in
+// microseconds, plus the simulation's own process rows in cycles.
+//
+// Like the metrics registry, everything is nil-safe: a nil *WallTracer (and
+// the nil *WallSpan its methods then return) records nothing, so the serving
+// stack wires tracing unconditionally and pays one nil check when it is off.
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the HTTP header that propagates a trace ID from
+// service.Client through qsmd into every span and log line of a job.
+const TraceHeader = "X-Qsm-Trace"
+
+// NewTraceID returns a fresh 16-hex-character trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// recognizable constant rather than bringing tracing down.
+		return "00000000824c0c1d"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether s is usable as a trace ID: 8–64 characters of
+// lowercase hex. Invalid inbound IDs are replaced rather than trusted.
+func ValidTraceID(s string) bool {
+	if len(s) < 8 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// WArg is one string key/value annotation on a wall-clock span or event.
+// (Sim-time spans use the int64-valued Arg; wall spans annotate with job
+// keys, states, and fault classes, which are strings.)
+type WArg struct {
+	Key string
+	Val string
+}
+
+// wallEvent is one instant ("i"-phase) marker inside the tracer, used for
+// fault injections and other point-in-time annotations.
+type wallEvent struct {
+	traceID string
+	layer   string
+	name    string
+	at      time.Duration
+	args    []WArg
+}
+
+// wallRecord is one completed wall-clock span in the tracer's buffer.
+type wallRecord struct {
+	traceID    string
+	layer      string
+	cat        string
+	name       string
+	start, end time.Duration
+	args       []WArg
+}
+
+// DefaultMaxWallSpans bounds the process-wide wall-span buffer; excess spans
+// are counted as dropped, mirroring the sim-time trace cap.
+const DefaultMaxWallSpans = 1 << 18
+
+// WallTracer collects wall-clock spans from concurrent goroutines into one
+// bounded buffer. All methods are safe for concurrent use and on a nil
+// receiver (which records nothing).
+type WallTracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	max     int
+	spans   []wallRecord
+	events  []wallEvent
+	dropped uint64
+}
+
+// NewWallTracer creates a tracer whose span buffer holds up to maxSpans
+// completed spans (<= 0 means DefaultMaxWallSpans).
+func NewWallTracer(maxSpans int) *WallTracer {
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxWallSpans
+	}
+	return &WallTracer{start: time.Now(), max: maxSpans}
+}
+
+// Enabled reports whether the tracer records; use it to skip building span
+// arguments when tracing is off.
+func (t *WallTracer) Enabled() bool { return t != nil }
+
+// now returns the wall offset since the tracer started.
+func (t *WallTracer) now() time.Duration { return time.Since(t.start) }
+
+// WallSpan is one in-progress wall-clock span. Start it with
+// WallTracer.Start, optionally annotate it, and End it exactly once; the
+// completed record then lands in the tracer's buffer. A span may be started
+// and ended on different goroutines as long as the two are ordered (e.g.
+// handing a job from the admission path to a worker); its methods are not
+// otherwise safe for concurrent use.
+type WallSpan struct {
+	t       *WallTracer
+	traceID string
+	layer   string
+	cat     string
+	name    string
+	start   time.Duration
+	args    []WArg
+	ended   bool
+}
+
+// Start opens a span on the given layer row (e.g. "http", "queue",
+// "scheduler", "store", "runner", "client") tagged with traceID.
+func (t *WallTracer) Start(traceID, layer, cat, name string, args ...WArg) *WallSpan {
+	if t == nil {
+		return nil
+	}
+	return &WallSpan{t: t, traceID: traceID, layer: layer, cat: cat, name: name, start: t.now(), args: args}
+}
+
+// Annotate appends a key/value argument to the span.
+func (s *WallSpan) Annotate(key, val string) {
+	if s == nil {
+		return
+	}
+	s.args = append(s.args, WArg{key, val})
+}
+
+// End completes the span and commits it to the tracer's buffer. Ending a
+// span twice commits it once.
+func (s *WallSpan) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	t := s.t
+	end := t.now()
+	t.mu.Lock()
+	if len(t.spans) >= t.max {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, wallRecord{
+			traceID: s.traceID, layer: s.layer, cat: s.cat, name: s.name,
+			start: s.start, end: end, args: s.args,
+		})
+	}
+	t.mu.Unlock()
+}
+
+// Instant records a zero-duration marker event on a layer row — fault
+// injections, state transitions, and other point-in-time annotations.
+func (t *WallTracer) Instant(traceID, layer, name string, args ...WArg) {
+	if t == nil {
+		return
+	}
+	at := t.now()
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, wallEvent{traceID: traceID, layer: layer, name: name, at: at, args: args})
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the number of committed spans, across all trace IDs.
+func (t *WallTracer) Spans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// SpansFor returns the number of committed spans tagged with traceID.
+func (t *WallTracer) SpansFor(traceID string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.spans {
+		if t.spans[i].traceID == traceID {
+			n++
+		}
+	}
+	return n
+}
+
+// Dropped returns how many spans and events were discarded at the buffer
+// cap.
+func (t *WallTracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// snapshotFor copies the spans and events tagged with traceID (or all of
+// them when traceID is empty), so export does not hold the lock while
+// encoding.
+func (t *WallTracer) snapshotFor(traceID string) ([]wallRecord, []wallEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var spans []wallRecord
+	for i := range t.spans {
+		if traceID == "" || t.spans[i].traceID == traceID {
+			spans = append(spans, t.spans[i])
+		}
+	}
+	var events []wallEvent
+	for i := range t.events {
+		if traceID == "" || t.events[i].traceID == traceID {
+			events = append(events, t.events[i])
+		}
+	}
+	return spans, events
+}
+
+// wallPid is the Chrome-trace process id of the wall-clock row in merged
+// exports; sim-time process ids are offset past it.
+const wallPid = 1
+
+// WriteMergedTrace writes one Perfetto-loadable Chrome trace-event JSON
+// document combining the wall-clock spans tagged with traceID (or every
+// span, when traceID is empty) and the sim-time spans of sim (which may be
+// nil, e.g. while the simulation is still running). The wall-clock side is
+// process row 1 with one named thread row per serving layer and ts/dur in
+// real microseconds; the sim-time rows keep their own process ids (offset
+// past the wall row) with ts/dur in simulated cycles — two clock domains,
+// deliberately side by side, so layer attribution and simulation structure
+// are read from one file.
+func WriteMergedTrace(w io.Writer, traceID string, wall *WallTracer, sim *Recorder) error {
+	bw := bufio.NewWriter(w)
+	var spans []wallRecord
+	var events []wallEvent
+	var dropped uint64
+	if wall != nil {
+		spans, events = wall.snapshotFor(traceID)
+		dropped = wall.Dropped()
+	}
+	if sim != nil && sim.trace != nil {
+		dropped += sim.trace.dropped
+	}
+	fmt.Fprintf(bw, "{\n  \"displayTimeUnit\": \"ns\",\n  \"otherData\": {\"traceId\": %s, \"wallClockUnit\": \"us\", \"simClockDomain\": \"cycles\", \"droppedEvents\": %d},\n  \"traceEvents\": [", strconv.Quote(traceID), dropped)
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",")
+		}
+		first = false
+		bw.WriteString("\n    ")
+		bw.WriteString(line)
+	}
+
+	// Stable thread-row numbering: layers sorted by first appearance would
+	// depend on scheduling, so sort them by name.
+	layerSet := map[string]bool{}
+	for i := range spans {
+		layerSet[spans[i].layer] = true
+	}
+	for i := range events {
+		layerSet[events[i].layer] = true
+	}
+	layers := make([]string, 0, len(layerSet))
+	for l := range layerSet {
+		layers = append(layers, l)
+	}
+	sort.Strings(layers)
+	tids := make(map[string]int, len(layers))
+	emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"wall-clock (us)"}}`, wallPid))
+	for i, l := range layers {
+		tids[l] = i + 1
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`, wallPid, i+1, strconv.Quote(l)))
+	}
+	for i := range spans {
+		s := &spans[i]
+		line := fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"cat":%s,"name":%s`,
+			wallPid, tids[s.layer], s.start.Microseconds(), (s.end - s.start).Microseconds(),
+			strconv.Quote(s.cat), strconv.Quote(s.name))
+		line += wallArgsJSON(s.traceID, s.args)
+		emit(line + "}")
+	}
+	for i := range events {
+		e := &events[i]
+		line := fmt.Sprintf(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,"cat":"event","name":%s`,
+			wallPid, tids[e.layer], e.at.Microseconds(), strconv.Quote(e.name))
+		line += wallArgsJSON(e.traceID, e.args)
+		emit(line + "}")
+	}
+	if sim != nil && sim.trace != nil {
+		sim.trace.emitTo(emit, wallPid+1)
+	}
+	bw.WriteString("\n  ]\n}\n")
+	return bw.Flush()
+}
+
+// wallArgsJSON renders the trace id plus string args as a Chrome trace
+// "args" object fragment (leading comma included).
+func wallArgsJSON(traceID string, args []WArg) string {
+	out := `,"args":{"trace_id":` + strconv.Quote(traceID)
+	for _, a := range args {
+		out += "," + strconv.Quote(a.Key) + ":" + strconv.Quote(a.Val)
+	}
+	return out + "}"
+}
+
+// WriteWallTraceJSON writes the tracer's spans for traceID (all spans when
+// empty) as a standalone Chrome trace document with no sim-time rows.
+func (t *WallTracer) WriteWallTraceJSON(w io.Writer, traceID string) error {
+	return WriteMergedTrace(w, traceID, t, nil)
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceIDValidity(t *testing.T) {
+	for _, tc := range []struct {
+		id string
+		ok bool
+	}{
+		{"deadbeef", true},
+		{"0123456789abcdef", true},
+		{strings.Repeat("a", 64), true},
+		{"", false},
+		{"abc", false},                      // too short
+		{strings.Repeat("a", 65), false},    // too long
+		{"DEADBEEF", false},                 // uppercase
+		{"deadbeeg", false},                 // non-hex
+		{"dead beef", false},                // space
+		{"deadbeef\n", false},               // control char
+		{"../../../../etc/passwd12", false}, // path traversal shape
+	} {
+		if got := ValidTraceID(tc.id); got != tc.ok {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", tc.id, got, tc.ok)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		id := NewTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("NewTraceID() = %q, not valid", id)
+		}
+	}
+	if NewTraceID() == NewTraceID() {
+		t.Error("two NewTraceID calls returned the same ID")
+	}
+}
+
+// TestWallTracerNilSafe checks the whole wall-clock API is inert on nil
+// receivers: the disabled path must cost one nil check, never a panic.
+func TestWallTracerNilSafe(t *testing.T) {
+	var tr *WallTracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	sp := tr.Start("deadbeef", "http", "request", "GET /")
+	sp.Annotate("k", "v")
+	sp.End()
+	sp.End() // double End is also safe
+	tr.Instant("deadbeef", "http", "marker")
+	if tr.Spans() != 0 || tr.SpansFor("deadbeef") != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer reports non-zero counts")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteWallTraceJSON(&buf, ""); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer export is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var nilSpan *WallSpan
+	nilSpan.Annotate("k", "v")
+	nilSpan.End()
+}
+
+func TestWallTracerCapCountsDrops(t *testing.T) {
+	tr := NewWallTracer(3)
+	for i := 0; i < 8; i++ {
+		tr.Start("deadbeef", "layer", "c", "s").End()
+	}
+	if tr.Spans() != 3 || tr.Dropped() != 5 {
+		t.Fatalf("spans/dropped = %d/%d, want 3/5", tr.Spans(), tr.Dropped())
+	}
+	for i := 0; i < 5; i++ {
+		tr.Instant("deadbeef", "layer", "i")
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped after instants = %d, want 7 (3 kept + 2 extra dropped)", tr.Dropped())
+	}
+}
+
+// TestWallTracerConcurrent hammers one tracer from many goroutines (spans,
+// instants, double-Ends, and concurrent reads); run under -race this is the
+// registry's concurrency proof, and the counts must still balance.
+func TestWallTracerConcurrent(t *testing.T) {
+	tr := NewWallTracer(0)
+	const workers, each = 8, 200
+	ids := []string{"aaaaaaaa", "bbbbbbbb"}
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			id := ids[w%len(ids)]
+			for i := 0; i < each; i++ {
+				sp := tr.Start(id, "layer", "cat", "span")
+				sp.Annotate("i", "x")
+				sp.End()
+				sp.End()
+				if i%10 == 0 {
+					tr.Instant(id, "layer", "marker")
+				}
+				_ = tr.Spans() // concurrent reader
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if got := tr.Spans(); got != workers*each {
+		t.Errorf("Spans() = %d, want %d", got, workers*each)
+	}
+	if a, b := tr.SpansFor("aaaaaaaa"), tr.SpansFor("bbbbbbbb"); a+b != workers*each {
+		t.Errorf("per-ID spans %d + %d != %d", a, b, workers*each)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("Dropped() = %d, want 0", tr.Dropped())
+	}
+}
+
+// mergedDoc mirrors the merged-export JSON for assertions.
+type mergedDoc struct {
+	OtherData struct {
+		TraceID       string `json:"traceId"`
+		WallClockUnit string `json:"wallClockUnit"`
+		SimClock      string `json:"simClockDomain"`
+		Dropped       uint64 `json:"droppedEvents"`
+	} `json:"otherData"`
+	TraceEvents []struct {
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Name string         `json:"name"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestWriteMergedTraceFiltersAndMerges checks the end-to-end export shape:
+// only the requested trace ID's wall spans appear, layers become named
+// thread rows on the wall process, sim-time rows keep their structure at
+// shifted pids, and every wall event carries the trace ID in its args.
+func TestWriteMergedTraceFiltersAndMerges(t *testing.T) {
+	tr := NewWallTracer(0)
+	tr.Start("aaaaaaaa", "http", "request", "POST /v1/jobs", WArg{"method", "POST"}).End()
+	tr.Start("aaaaaaaa", "queue", "queue", "queue-wait").End()
+	tr.Start("aaaaaaaa", "scheduler", "attempt", "attempt 1").End()
+	tr.Start("bbbbbbbb", "http", "request", "GET /healthz").End() // other trace: filtered out
+	tr.Instant("aaaaaaaa", "store", "fault:store_read", WArg{"fault", "store_read"})
+
+	sim := New(Config{Trace: true})
+	sim.NamePid(0, "qsmlib")
+	sim.Span(0, 1, "qsmlib", "sync 0", 100, 250)
+
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, "aaaaaaaa", tr, sim); err != nil {
+		t.Fatal(err)
+	}
+	var doc mergedDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.OtherData.TraceID != "aaaaaaaa" || doc.OtherData.WallClockUnit != "us" || doc.OtherData.SimClock != "cycles" {
+		t.Errorf("otherData = %+v", doc.OtherData)
+	}
+
+	var layers []string
+	var wallSpans, wallInstants, simSpans int
+	simPids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name" && ev.Pid == 1:
+			layers = append(layers, ev.Args["name"].(string))
+		case ev.Ph == "X" && ev.Pid == 1:
+			wallSpans++
+			if id, _ := ev.Args["trace_id"].(string); id != "aaaaaaaa" {
+				t.Errorf("wall span %q has trace_id %v, want aaaaaaaa", ev.Name, ev.Args["trace_id"])
+			}
+		case ev.Ph == "i" && ev.Pid == 1:
+			wallInstants++
+			if ev.Args["fault"] != "store_read" {
+				t.Errorf("instant args = %v", ev.Args)
+			}
+		case ev.Ph == "X" && ev.Pid != 1:
+			simSpans++
+			simPids[ev.Pid] = true
+		}
+	}
+	// Layer rows are sorted by name for stable output.
+	want := []string{"http", "queue", "scheduler", "store"}
+	if strings.Join(layers, ",") != strings.Join(want, ",") {
+		t.Errorf("wall layer rows = %v, want %v", layers, want)
+	}
+	if wallSpans != 3 {
+		t.Errorf("wall spans for aaaaaaaa = %d, want 3 (bbbbbbbb must be filtered)", wallSpans)
+	}
+	if wallInstants != 1 || simSpans != 1 {
+		t.Errorf("instants/simSpans = %d/%d, want 1/1", wallInstants, simSpans)
+	}
+	for pid := range simPids {
+		if pid < 2 {
+			t.Errorf("sim span pid %d collides with the wall-clock row", pid)
+		}
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	if l.Enabled() {
+		t.Error("nil logger reports enabled")
+	}
+	l.Debug("d")
+	l.Info("i", "k", "v")
+	l.Warn("w")
+	l.Error("e")
+	if l.With("trace_id", "x") != nil {
+		t.Error("nil logger With returned non-nil")
+	}
+	if NewSlogLogger(nil) != nil {
+		t.Error("NewSlogLogger(nil) returned non-nil")
+	}
+}
+
+func TestLoggerLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, ParseLogLevel("info"))
+	l.Debug("hidden")
+	l.With("trace_id", "deadbeef", "job", "job-1").Warn("injected store fault", "fault", "store_read")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug line leaked at info level: %s", out)
+	}
+	for _, want := range []string{"trace_id=deadbeef", "job=job-1", "fault=store_read", "level=WARN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestTraceContextPlumbing(t *testing.T) {
+	if tc := TraceContextFrom(context.Background()); tc != nil {
+		t.Error("empty context yielded a trace context")
+	}
+	// The nil TraceContext is valid and inert.
+	var nilTC *TraceContext
+	nilTC.Start("http", "c", "n").End()
+	nilTC.Instant("http", "n")
+	if nilTC.Logger() != nil || nilTC.TraceID() != "" {
+		t.Error("nil TraceContext not inert")
+	}
+
+	tr := NewWallTracer(0)
+	tc := &TraceContext{ID: "deadbeef", Tracer: tr}
+	ctx := WithTraceContext(context.Background(), tc)
+	got := TraceContextFrom(ctx)
+	if got != tc {
+		t.Fatal("trace context did not round-trip through context")
+	}
+	got.Start("store", "store", "store.get").End()
+	got.Instant("store", "fault:slow_job")
+	if tr.SpansFor("deadbeef") != 1 {
+		t.Errorf("span not recorded through context: %d", tr.SpansFor("deadbeef"))
+	}
+}

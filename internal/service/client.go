@@ -9,10 +9,12 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/store"
 )
@@ -46,6 +48,18 @@ type Client struct {
 	// RequestTimeout bounds each attempt (not the whole retry loop), layered
 	// under the caller's context. 0 means no per-attempt limit.
 	RequestTimeout time.Duration
+	// TraceID, when a valid trace ID, is sent as the X-Qsm-Trace header on
+	// every request — every attempt of every retry reuses the same ID, so
+	// the server stitches a whole client conversation (submit, polls,
+	// result fetch) into one trace. Empty disables propagation; the server
+	// then mints a fresh ID per request.
+	TraceID string
+	// Tracer, when non-nil, records one "client"-layer wall-clock span per
+	// attempt (retries get their own spans under the same trace ID).
+	Tracer *obs.WallTracer
+	// Log, when enabled, records one line per retried attempt and per
+	// exhausted retry budget.
+	Log *obs.Logger
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
@@ -115,17 +129,21 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	var lastErr error
 	for n := 1; ; n++ {
-		status, err := c.once(ctx, method, path, data, out)
+		status, err := c.once(ctx, method, path, data, out, n)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
 		if n >= attempts || ctx.Err() != nil || !retryable(status, err) {
 			if n > 1 {
+				c.log().Warn("request failed after retries",
+					"method", method, "path", path, "attempts", n, "err", lastErr)
 				return fmt.Errorf("qsmd: %d attempts failed: %w", n, lastErr)
 			}
 			return lastErr
 		}
+		c.log().Warn("request attempt failed, retrying",
+			"method", method, "path", path, "attempt", n, "status", status, "err", err)
 		t := time.NewTimer(c.backoff(n))
 		select {
 		case <-t.C:
@@ -136,9 +154,30 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 }
 
+// log returns the client's logger scoped to its trace ID (nil-safe).
+func (c *Client) log() *obs.Logger {
+	if c.Log.Enabled() && obs.ValidTraceID(c.TraceID) {
+		return c.Log.With("trace_id", c.TraceID)
+	}
+	return c.Log
+}
+
 // once issues a single attempt. The returned status is 0 for
 // transport-level failures and the HTTP status otherwise.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, attempt int) (status int, err error) {
+	if c.Tracer.Enabled() && obs.ValidTraceID(c.TraceID) {
+		sp := c.Tracer.Start(c.TraceID, "client", "request",
+			method+" "+path,
+			obs.WArg{Key: "attempt", Val: strconv.Itoa(attempt)})
+		defer func() {
+			if err != nil {
+				sp.Annotate("error", err.Error())
+			} else {
+				sp.Annotate("status", strconv.Itoa(status))
+			}
+			sp.End()
+		}()
+	}
 	if c.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.RequestTimeout)
@@ -154,6 +193,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if obs.ValidTraceID(c.TraceID) {
+		req.Header.Set(obs.TraceHeader, c.TraceID)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -203,6 +245,15 @@ func (c *Client) Result(ctx context.Context, key string) (*store.Entry, error) {
 		return nil, err
 	}
 	return &e, nil
+}
+
+// JobTrace fetches a job's merged Perfetto trace as raw JSON.
+func (c *Client) JobTrace(ctx context.Context, id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
 }
 
 // Cancel requests cancellation of a job.

@@ -4,23 +4,32 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
 // The HTTP API cmd/qsmd serves:
 //
-//	POST   /v1/jobs          submit {"experiment","seed","runs","quick"}
-//	GET    /v1/jobs          list job statuses
-//	GET    /v1/jobs/{id}     one job's status
-//	DELETE /v1/jobs/{id}     cancel a job
-//	GET    /v1/results/{key} a cached result entry by content address
-//	GET    /healthz          liveness + drain state
-//	GET    /metricsz         obs registry as Prometheus text
+//	POST   /v1/jobs            submit {"experiment","seed","runs","quick"}
+//	GET    /v1/jobs            list job statuses
+//	GET    /v1/jobs/{id}       one job's status
+//	GET    /v1/jobs/{id}/trace merged wall-clock + sim-time Perfetto trace
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/results/{key}   a cached result entry by content address
+//	GET    /healthz            liveness + drain state
+//	GET    /metricsz           obs registry as Prometheus text
+//	GET    /statusz            live introspection snapshot (JSON)
 //
 // Errors are {"error": "..."} with 400 (bad request/unknown experiment),
 // 404 (no such job/result), 429 (queue full), or 503 (draining).
+//
+// Every request runs under TraceMiddleware: the X-Qsm-Trace request header
+// (when a valid trace ID) or a freshly minted ID identifies the request, is
+// echoed in the response header, stamps an "http" wall-clock span per
+// request, and scopes the request's log lines.
 
 // SubmitRequest is the POST /v1/jobs body. Zero-valued fields take the
 // same defaults the CLI uses (seed 0, 5 runs, full sweeps).
@@ -45,9 +54,72 @@ func (s *Scheduler) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleGetResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleGetJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	return mux
+}
+
+// statusWriter records the response code so the request span can carry it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// TraceMiddleware scopes each request to a trace: it adopts a valid
+// X-Qsm-Trace request header (so a client's submit and polls share one
+// trace) or mints a fresh ID, echoes the ID in the response header, wraps
+// the request in an "http" wall-clock span carrying method, path, and
+// status, and attaches a request-scoped TraceContext (tracer + logger) to
+// the request context for the layers below. It must wrap any
+// fault-injecting middleware so aborted requests still commit their span.
+func (s *Scheduler) TraceMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(id) {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		tc := &obs.TraceContext{ID: id, Tracer: s.cfg.Tracer, Log: s.logFor(id)}
+		r = r.WithContext(obs.WithTraceContext(r.Context(), tc))
+
+		sw := &statusWriter{ResponseWriter: w}
+		sp := tc.Start("http", "request", r.Method+" "+r.URL.Path,
+			obs.WArg{Key: "method", Val: r.Method},
+			obs.WArg{Key: "path", Val: r.URL.Path})
+		// End via defer so a fault-injected abort (panic with
+		// http.ErrAbortHandler) still commits the span; annotate the
+		// outcome first.
+		defer func() {
+			if v := recover(); v != nil {
+				sp.Annotate("status", "aborted")
+				sp.End()
+				panic(v)
+			}
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			sp.Annotate("status", strconv.Itoa(code))
+			sp.End()
+		}()
+		next.ServeHTTP(sw, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -70,7 +142,7 @@ func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	js, err := s.Submit(Request{Experiment: req.Experiment, Options: req.Key()})
+	js, err := s.SubmitCtx(r.Context(), Request{Experiment: req.Experiment, Options: req.Key()})
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrUnknownExperiment):
@@ -126,7 +198,7 @@ func (s *Scheduler) handleGetResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("service: malformed result key"))
 		return
 	}
-	e, ok, err := s.cfg.Store.Get(key)
+	e, ok, err := s.cfg.Store.GetCtx(r.Context(), key)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -152,4 +224,22 @@ func (s *Scheduler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Scheduler) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.WriteMetricsText(w)
+}
+
+func (s *Scheduler) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+func (s *Scheduler) handleGetJobTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	ok, err := s.WriteJobTrace(w, r.PathValue("id"))
+	if !ok {
+		// WriteJobTrace writes nothing for a missing job, so the 404 is
+		// still clean to send.
+		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	if err != nil && s.cfg.Log.Enabled() {
+		s.cfg.Log.Warn("writing job trace failed", "err", err)
+	}
 }

@@ -101,12 +101,30 @@ type Config struct {
 	// the scheduler. Tests use it for channel-based synchronization instead
 	// of wall-clock polling.
 	StateHook func(JobStatus)
+	// Log receives request-scoped structured log lines (submissions, state
+	// transitions, fault annotations), each stamped with the job's trace ID.
+	// Nil logs nothing.
+	Log *obs.Logger
+	// Tracer collects wall-clock spans across the serving layers — HTTP
+	// handling, queue wait, scheduler attempts, store I/O, runner execution —
+	// tagged with per-request trace IDs. Nil traces nothing.
+	Tracer *obs.WallTracer
+	// CollectTrace additionally gives each computed job a sim-time span
+	// trace, retained on the job so /v1/jobs/{id}/trace can export it merged
+	// with the job's wall-clock spans. Requires CollectMetrics-style sinks;
+	// off by default because sim traces are large.
+	CollectTrace bool
 }
 
 // Request is one experiment submission.
 type Request struct {
 	Experiment string
 	Options    experiments.OptionsKey
+	// TraceID, when a valid obs trace ID, threads an end-to-end trace
+	// through the job: every wall-clock span and log line the job produces
+	// carries it. Empty (or invalid) means the scheduler assigns one when
+	// tracing is enabled.
+	TraceID string
 }
 
 // JobProgress is a point-in-time view of a running sweep.
@@ -126,7 +144,10 @@ type JobStatus struct {
 	ID         string                 `json:"id"`
 	Experiment string                 `json:"experiment"`
 	Options    experiments.OptionsKey `json:"options"`
-	State      State                  `json:"state"`
+	// TraceID is the trace this job's spans and log lines are tagged with;
+	// empty when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
+	State   State  `json:"state"`
 	// Cached reports the job was served from the result store (at admission
 	// or by sharing another job's in-flight computation).
 	Cached   bool   `json:"cached"`
@@ -149,8 +170,17 @@ type job struct {
 	experiment string
 	opts       experiments.OptionsKey
 	cacheKey   string
-	ctx        context.Context
-	cancel     context.CancelFunc
+	traceID    string
+	// ctx carries the job's obs.TraceContext, so store I/O and compute done
+	// under it trace and log with the job's identity.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// log is the job-scoped logger (trace ID, job id, short key baked in).
+	log *obs.Logger
+	// queueSpan is the admission-to-dequeue wall span; set before the job is
+	// enqueued and ended by the dequeuing worker (ordered by the queue
+	// channel).
+	queueSpan *obs.WallSpan
 
 	mu        sync.Mutex
 	state     State
@@ -161,6 +191,24 @@ type job struct {
 	progress  JobProgress
 	created   time.Time
 	finished  time.Time
+	// simTrace holds the job's merged sim-time recorder once computed, for
+	// the /v1/jobs/{id}/trace merged export. Nil for cache hits and when
+	// CollectTrace is off.
+	simTrace *obs.Recorder
+}
+
+// setSimTrace retains the job's merged sim-time recorder for trace export.
+func (j *job) setSimTrace(rec *obs.Recorder) {
+	j.mu.Lock()
+	j.simTrace = rec
+	j.mu.Unlock()
+}
+
+// SimTrace returns the job's retained sim-time recorder, or nil.
+func (j *job) SimTrace() *obs.Recorder {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.simTrace
 }
 
 func (j *job) status() JobStatus {
@@ -174,6 +222,7 @@ func (j *job) status() JobStatus {
 		ID:             j.id,
 		Experiment:     j.experiment,
 		Options:        j.opts,
+		TraceID:        j.traceID,
 		State:          j.state,
 		Cached:         j.cached,
 		CacheKey:       j.cacheKey,
@@ -225,6 +274,7 @@ func (j *job) onProgress(p experiments.Progress) {
 type Scheduler struct {
 	cfg        Config
 	queue      chan *job
+	started    time.Time
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 	drainCh    chan struct{}
@@ -269,6 +319,7 @@ func New(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:     cfg,
 		queue:   make(chan *job, cfg.QueueCap),
+		started: time.Now(),
 		jobs:    map[string]*job{},
 		drainCh: make(chan struct{}),
 	}
@@ -315,19 +366,32 @@ func (s *Scheduler) Fingerprint() string { return s.cfg.Fingerprint }
 // unless the queue is full (QueueFullError) or the scheduler is draining
 // (ErrDraining).
 func (s *Scheduler) Submit(req Request) (JobStatus, error) {
+	return s.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit under a request context: the admission-time store read
+// traces and logs against the submitting request (its obs.TraceContext,
+// when present), and the job inherits the request's trace ID so every span
+// and log line downstream — queue wait, attempts, store I/O, runner — shares
+// it. ctx scopes admission only; job execution is bound to the scheduler's
+// lifetime, not the submitting request's.
+func (s *Scheduler) SubmitCtx(ctx context.Context, req Request) (JobStatus, error) {
 	if !experiments.Known(req.Experiment) {
 		return JobStatus{}, fmt.Errorf("%w %q (have %v)", ErrUnknownExperiment, req.Experiment, experiments.IDs())
 	}
 	s.metric(func() { s.met.submitted.Inc() })
 	key := store.ResultKey(req.Experiment, req.Options, s.cfg.Fingerprint)
+	traceID := s.resolveTraceID(ctx, req)
 
 	// Admission-time cache hit: complete without consuming queue capacity.
 	// A store read error here is deliberately treated as a miss — the queue
 	// path recomputes.
-	if _, ok, err := s.cfg.Store.Get(key); err == nil && ok {
-		j := s.register(req, key)
+	if _, ok, err := s.cfg.Store.GetCtx(ctx, key); err == nil && ok {
+		j := s.register(req, key, traceID)
+		j.queueSpan.End() // never queued; commit the ~0 wait for a complete timeline
 		j.finish(key, true)
 		s.metric(func() { s.met.hits.Inc() })
+		j.log.Info("job served from cache at admission", "experiment", req.Experiment, "state", StateDone)
 		s.notify(j)
 		return j.status(), nil
 	}
@@ -336,9 +400,10 @@ func (s *Scheduler) Submit(req Request) (JobStatus, error) {
 	if s.draining {
 		s.mu.Unlock()
 		s.metric(func() { s.met.rejected.Inc() })
+		s.logFor(traceID).Warn("submission rejected: draining", "experiment", req.Experiment)
 		return JobStatus{}, ErrDraining
 	}
-	j := s.registerLocked(req, key)
+	j := s.registerLocked(req, key, traceID)
 	var full bool
 	select {
 	case s.queue <- j:
@@ -350,20 +415,46 @@ func (s *Scheduler) Submit(req Request) (JobStatus, error) {
 	if full {
 		j.cancel()
 		s.metric(func() { s.met.rejected.Inc() })
+		j.log.Warn("submission rejected: queue full", "experiment", req.Experiment, "capacity", cap(s.queue))
 		return JobStatus{}, &QueueFullError{Capacity: cap(s.queue)}
 	}
 	s.metric(func() { s.met.queueDepth.Set(int64(len(s.queue))) })
+	j.log.Info("job queued", "experiment", req.Experiment, "state", StateQueued, "queue_depth", len(s.queue))
 	s.notify(j)
 	return j.status(), nil
 }
 
-func (s *Scheduler) register(req Request, key string) *job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.registerLocked(req, key)
+// resolveTraceID picks the trace ID a submission runs under: a valid ID from
+// the request, else the submitting context's, else (when tracing or logging
+// is on) a fresh one. Untraced, unlogged schedulers leave it empty.
+func (s *Scheduler) resolveTraceID(ctx context.Context, req Request) string {
+	if obs.ValidTraceID(req.TraceID) {
+		return req.TraceID
+	}
+	if tc := obs.TraceContextFrom(ctx); tc != nil && tc.ID != "" {
+		return tc.ID
+	}
+	if s.cfg.Tracer.Enabled() || s.cfg.Log.Enabled() {
+		return obs.NewTraceID()
+	}
+	return ""
 }
 
-func (s *Scheduler) registerLocked(req Request, key string) *job {
+// logFor returns the scheduler logger annotated with a trace ID.
+func (s *Scheduler) logFor(traceID string) *obs.Logger {
+	if traceID == "" {
+		return s.cfg.Log
+	}
+	return s.cfg.Log.With("trace_id", traceID)
+}
+
+func (s *Scheduler) register(req Request, key, traceID string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registerLocked(req, key, traceID)
+}
+
+func (s *Scheduler) registerLocked(req Request, key, traceID string) *job {
 	s.nextSeq++
 	j := &job{
 		seq:        s.nextSeq,
@@ -371,10 +462,17 @@ func (s *Scheduler) registerLocked(req Request, key string) *job {
 		experiment: req.Experiment,
 		opts:       req.Options,
 		cacheKey:   key,
+		traceID:    traceID,
 		state:      StateQueued,
 		created:    time.Now(),
 	}
+	j.log = s.logFor(traceID).With("job", j.id, "key", store.ShortKey(key))
 	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
+	// The job's context carries its trace identity so store I/O and compute
+	// under it annotate the right trace.
+	j.ctx = obs.WithTraceContext(j.ctx, &obs.TraceContext{ID: traceID, Tracer: s.cfg.Tracer, Log: j.log})
+	j.queueSpan = s.cfg.Tracer.Start(traceID, "queue", "queue", "queue-wait",
+		obs.WArg{Key: "job", Val: j.id}, obs.WArg{Key: "experiment", Val: j.experiment})
 	s.jobs[j.id] = j
 	return j
 }
@@ -431,9 +529,11 @@ func (s *Scheduler) worker() {
 // per-job timeout, and a failed attempt is retried while the job is not
 // cancelled and the retry budget lasts.
 func (s *Scheduler) runJob(j *job) {
+	j.queueSpan.End()
 	if err := j.ctx.Err(); err != nil {
 		j.fail(err)
 		s.metric(func() { s.met.failed.Inc() })
+		j.log.Warn("job cancelled before start", "error", err)
 		s.notify(j)
 		return
 	}
@@ -443,9 +543,15 @@ func (s *Scheduler) runJob(j *job) {
 	start := time.Now()
 	for {
 		j.startAttempt()
+		attempt := j.attempts()
+		j.log.Info("attempt started", "attempt", attempt, "experiment", j.experiment, "state", StateRunning)
 		s.notify(j)
+		sp := s.cfg.Tracer.Start(j.traceID, "scheduler", "attempt", fmt.Sprintf("attempt %d", attempt),
+			obs.WArg{Key: "job", Val: j.id}, obs.WArg{Key: "experiment", Val: j.experiment})
 		entry, hit, err := s.attempt(j)
 		if err == nil {
+			sp.Annotate("outcome", "done")
+			sp.End()
 			s.metric(func() {
 				s.met.latency.Observe(time.Since(start).Seconds())
 				if hit {
@@ -455,11 +561,20 @@ func (s *Scheduler) runJob(j *job) {
 				}
 			})
 			j.finish(entry.Key, hit)
+			j.log.Info("job done", "attempt", attempt, "cached", hit, "state", StateDone,
+				"elapsed_seconds", time.Since(start).Seconds())
 			s.notify(j)
 			return
 		}
+		sp.Annotate("outcome", "failed")
+		sp.Annotate("error", err.Error())
+		if inj := new(faults.InjectedError); errors.As(err, &inj) {
+			sp.Annotate("fault", inj.Class.String())
+		}
+		sp.End()
 		if j.ctx.Err() == nil && j.attempts() <= s.cfg.JobRetries {
 			s.metric(func() { s.met.retried.Inc() })
+			j.log.Warn("attempt failed, retrying", "attempt", attempt, "error", err)
 			continue
 		}
 		s.metric(func() {
@@ -467,6 +582,8 @@ func (s *Scheduler) runJob(j *job) {
 			s.met.failed.Inc()
 		})
 		j.fail(err)
+		j.log.Error("job failed", "attempt", attempt, "state", StateFailed, "error", err,
+			"elapsed_seconds", time.Since(start).Seconds())
 		s.notify(j)
 		return
 	}
@@ -486,7 +603,7 @@ func (s *Scheduler) attempt(j *job) (*store.Entry, bool, error) {
 		runCtx, cancel = context.WithTimeout(j.ctx, s.cfg.JobTimeout)
 	}
 	defer cancel()
-	return s.cfg.Store.GetOrCompute(j.cacheKey, func() (*store.Entry, error) {
+	return s.cfg.Store.GetOrComputeCtx(runCtx, j.cacheKey, func() (*store.Entry, error) {
 		return s.compute(j, runCtx)
 	})
 }
@@ -503,6 +620,9 @@ func (s *Scheduler) compute(j *job, ctx context.Context) (e *store.Entry, err er
 		}
 	}()
 	if d := s.cfg.Faults.SlowDelay(); d > 0 {
+		s.cfg.Tracer.Instant(j.traceID, "scheduler", "fault:"+faults.SlowJob.String(),
+			obs.WArg{Key: "fault", Val: faults.SlowJob.String()}, obs.WArg{Key: "job", Val: j.id})
+		j.log.Warn("injected slow job", "fault", faults.SlowJob.String(), "delay", d)
 		t := time.NewTimer(d)
 		select {
 		case <-t.C:
@@ -512,22 +632,32 @@ func (s *Scheduler) compute(j *job, ctx context.Context) (e *store.Entry, err er
 		}
 	}
 	if s.cfg.Faults.Fire(faults.WorkerPanic) {
+		s.cfg.Tracer.Instant(j.traceID, "scheduler", "fault:"+faults.WorkerPanic.String(),
+			obs.WArg{Key: "fault", Val: faults.WorkerPanic.String()}, obs.WArg{Key: "job", Val: j.id})
+		j.log.Warn("injected worker panic", "fault", faults.WorkerPanic.String())
 		panic("faults: injected worker panic")
 	}
 	opt := j.opts.Options()
 	opt.Parallelism = s.cfg.SimParallelism
 	opt.Context = ctx
 	opt.Progress = j.onProgress
+	opt.Wall = s.cfg.Tracer
+	opt.TraceID = j.traceID
 	var sink *obs.Sink
-	if s.cfg.CollectMetrics {
-		sink = obs.NewSink(obs.Config{Metrics: true})
+	if s.cfg.CollectMetrics || s.cfg.CollectTrace {
+		sink = obs.NewSink(obs.Config{Metrics: s.cfg.CollectMetrics, Trace: s.cfg.CollectTrace})
 		opt.Obs = sink
 	}
+	runSpan := s.cfg.Tracer.Start(j.traceID, "runner", "run", j.experiment,
+		obs.WArg{Key: "job", Val: j.id})
 	t0 := time.Now()
 	res, err := experiments.Run(j.experiment, opt)
 	if err != nil {
+		runSpan.Annotate("outcome", "error")
+		runSpan.End()
 		return nil, err
 	}
+	runSpan.End()
 	wall := time.Since(t0)
 	entry := &store.Entry{
 		Key:         j.cacheKey,
@@ -552,9 +682,14 @@ func (s *Scheduler) compute(j *job, ctx context.Context) (e *store.Entry, err er
 		// The job's own sink isolates its event count from concurrent jobs,
 		// unlike the process-global sim.TotalEvents counter.
 		bench.SimEvents = merged.FindCounter("sim", "events", "").Value()
-		var buf bytes.Buffer
-		if err := merged.WriteMetricsJSON(&buf); err == nil {
-			entry.Metrics = buf.Bytes()
+		if s.cfg.CollectMetrics {
+			var buf bytes.Buffer
+			if err := merged.WriteMetricsJSON(&buf); err == nil {
+				entry.Metrics = buf.Bytes()
+			}
+		}
+		if s.cfg.CollectTrace {
+			j.setSimTrace(merged)
 		}
 	}
 	bench.Finish()

@@ -1,0 +1,145 @@
+package service
+
+// Live introspection for qsmd: Status() assembles the one-screen snapshot
+// /statusz serves (and cmd/qsmtop renders) — scheduler queue and job-state
+// counts, store health and degradation counters, fault-injection fire
+// counts, and uptime. Everything here is a read-side view over state the
+// serving path already maintains; taking a snapshot never blocks a worker
+// beyond the same short locks the serving path uses.
+
+import (
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// QueueStatus describes the admission queue.
+type QueueStatus struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+}
+
+// JobCounts breaks the job table down by lifecycle state.
+type JobCounts struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	Total   int `json:"total"`
+}
+
+// SchedulerCounters mirrors the scheduler's self-metrics as plain numbers.
+type SchedulerCounters struct {
+	Submitted   uint64 `json:"submitted"`
+	Rejected    uint64 `json:"rejected"`
+	Failed      uint64 `json:"failed"`
+	Retried     uint64 `json:"retried"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Inflight    int64  `json:"inflight"`
+}
+
+// FaultStatus reports the fault injector's armed state and per-class fire
+// counts.
+type FaultStatus struct {
+	Armed    bool              `json:"armed"`
+	Injected map[string]uint64 `json:"injected,omitempty"`
+}
+
+// Status is the /statusz payload: one JSON object summarising the live
+// state of the serving stack.
+type Status struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Fingerprint   string            `json:"fingerprint"`
+	Draining      bool              `json:"draining"`
+	TraceEnabled  bool              `json:"trace_enabled"`
+	Workers       int               `json:"workers"`
+	Goroutines    int               `json:"goroutines"`
+	WallSpans     int               `json:"wall_spans"`
+	WallDropped   uint64            `json:"wall_spans_dropped,omitempty"`
+	Queue         QueueStatus       `json:"queue"`
+	Jobs          JobCounts         `json:"jobs"`
+	Scheduler     SchedulerCounters `json:"scheduler"`
+	Store         store.Stats       `json:"store"`
+	Faults        FaultStatus       `json:"faults"`
+}
+
+// Status assembles a point-in-time introspection snapshot.
+func (s *Scheduler) Status() Status {
+	st := Status{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Fingerprint:   s.cfg.Fingerprint,
+		TraceEnabled:  s.cfg.Tracer.Enabled(),
+		Workers:       s.cfg.Workers,
+		Goroutines:    runtime.NumGoroutine(),
+		WallSpans:     s.cfg.Tracer.Spans(),
+		WallDropped:   s.cfg.Tracer.Dropped(),
+		Queue:         QueueStatus{Depth: len(s.queue), Capacity: cap(s.queue)},
+		Store:         s.cfg.Store.Stats(),
+	}
+
+	s.mu.Lock()
+	st.Draining = s.draining
+	st.Jobs.Total = len(s.jobs)
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		switch state {
+		case StateQueued:
+			st.Jobs.Queued++
+		case StateRunning:
+			st.Jobs.Running++
+		case StateDone:
+			st.Jobs.Done++
+		case StateFailed:
+			st.Jobs.Failed++
+		}
+	}
+
+	s.met.Lock()
+	st.Scheduler = SchedulerCounters{
+		Submitted:   s.met.submitted.Value(),
+		Rejected:    s.met.rejected.Value(),
+		Failed:      s.met.failed.Value(),
+		Retried:     s.met.retried.Value(),
+		CacheHits:   s.met.hits.Value(),
+		CacheMisses: s.met.misses.Value(),
+		Inflight:    s.met.inflight.Value(),
+	}
+	s.met.Unlock()
+
+	if s.cfg.Faults != nil {
+		st.Faults.Armed = true
+		st.Faults.Injected = map[string]uint64{}
+		for _, c := range faults.Classes() {
+			st.Faults.Injected[c.String()] = s.cfg.Faults.Count(c)
+		}
+	}
+	return st
+}
+
+// WriteJobTrace writes the merged Perfetto trace for one job: its wall-clock
+// spans (HTTP handling, queue wait, scheduler attempts, store I/O, runner
+// execution — every span tagged with the job's trace ID, including the
+// client's polls when the client propagated the ID) alongside the job's
+// sim-time spans when the scheduler collected them. It reports whether the
+// job exists; a job without tracing exports an empty-but-valid trace.
+func (s *Scheduler) WriteJobTrace(w io.Writer, id string) (bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	return true, obs.WriteMergedTrace(w, j.traceID, s.cfg.Tracer, j.SimTrace())
+}

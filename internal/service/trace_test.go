@@ -1,0 +1,292 @@
+package service_test
+
+// Tests for the wall-clock observability path: trace-ID propagation from
+// the client through retries, the HTTP trace middleware, and the
+// end-to-end merged trace a faults-armed server exports for one job.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// TestClientRetryKeepsTraceID checks the retry contract: every attempt of a
+// retried request carries the same X-Qsm-Trace header, and each attempt gets
+// its own client-layer span under that one trace ID.
+func TestClientRetryKeepsTraceID(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	srv, n := scriptedServer(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get(obs.TraceHeader))
+		mu.Unlock()
+		if n < 3 {
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"id":"job-1","state":"done"}`))
+	})
+	c := retryClient(srv, 5)
+	c.TraceID = "feedfacefeedface"
+	c.Tracer = obs.NewWallTracer(0)
+
+	if _, err := c.Job(context.Background(), "job-1"); err != nil {
+		t.Fatalf("retried request failed: %v", err)
+	}
+	if n.Load() != 3 {
+		t.Fatalf("server saw %d attempts, want 3", n.Load())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, id := range seen {
+		if id != "feedfacefeedface" {
+			t.Errorf("attempt %d sent trace ID %q, want feedfacefeedface", i+1, id)
+		}
+	}
+	if got := c.Tracer.SpansFor("feedfacefeedface"); got != 3 {
+		t.Errorf("client recorded %d spans, want 3 (one per attempt)", got)
+	}
+}
+
+// TestTraceMiddlewareAdoptsAndMints checks header handling: a valid inbound
+// X-Qsm-Trace is adopted and echoed; a missing or invalid one is replaced
+// with a freshly minted valid ID.
+func TestTraceMiddlewareAdoptsAndMints(t *testing.T) {
+	tracer := obs.NewWallTracer(0)
+	s := newSched(t, service.Config{Tracer: tracer})
+	srv := httptest.NewServer(s.TraceMiddleware(s.Handler()))
+	t.Cleanup(srv.Close)
+
+	for _, tc := range []struct {
+		inbound string
+		adopt   bool
+	}{
+		{"abcdef0123456789", true},
+		{"", false},
+		{"NOT-A-TRACE-ID", false},
+	} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+		if tc.inbound != "" {
+			req.Header.Set(obs.TraceHeader, tc.inbound)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		echo := resp.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(echo) {
+			t.Errorf("inbound %q: response trace ID %q is invalid", tc.inbound, echo)
+		}
+		if tc.adopt && echo != tc.inbound {
+			t.Errorf("inbound %q: not adopted, got %q", tc.inbound, echo)
+		}
+		if !tc.adopt && echo == tc.inbound {
+			t.Errorf("inbound invalid ID %q was adopted", tc.inbound)
+		}
+	}
+	if tracer.Spans() == 0 {
+		t.Error("middleware recorded no request spans")
+	}
+}
+
+// TestEndToEndMergedTrace is the acceptance-criteria test: one job submitted
+// through service.Client against a faults-armed, tracing server produces a
+// single merged trace holding wall-clock spans for every serving layer
+// (client, http, queue, scheduler, store, runner) plus the job's sim-time
+// process rows, all under one trace ID — and that trace ID appears on the
+// job's structured log lines, including a fault-annotated one.
+func TestEndToEndMergedTrace(t *testing.T) {
+	inj, err := faults.FromSpec(1, "slow_job:1:1:1ms,store_read:2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	logger := obs.NewLogger(&lockedWriter{w: &logBuf, mu: &logMu}, obs.ParseLogLevel("debug"))
+	tracer := obs.NewWallTracer(0)
+	st, err := store.OpenConfig(store.Config{Dir: t.TempDir(), Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSched(t, service.Config{
+		Store:          st,
+		Workers:        1,
+		CollectMetrics: true,
+		CollectTrace:   true,
+		Faults:         inj,
+		Log:            logger,
+		Tracer:         tracer,
+	})
+	srv := httptest.NewServer(s.TraceMiddleware(faults.Middleware(inj, s.Handler())))
+	t.Cleanup(srv.Close)
+
+	// The client shares the server's tracer so its per-attempt spans land in
+	// the same buffer, as qsmtop-style colocated tooling would.
+	c := &service.Client{
+		BaseURL: srv.URL,
+		HTTP:    srv.Client(),
+		TraceID: obs.NewTraceID(),
+		Tracer:  tracer,
+		Retry:   service.RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, Seed: 1},
+	}
+	js, err := c.Submit(context.Background(), service.SubmitRequest{Experiment: "fig2", Seed: 1, Runs: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.TraceID != c.TraceID {
+		t.Errorf("job trace ID %q, want the client's %q", js.TraceID, c.TraceID)
+	}
+	js = waitJob(t, s, js.ID)
+	if js.State != service.StateDone {
+		t.Fatalf("job state %s (%s), want done", js.State, js.Error)
+	}
+
+	var trace bytes.Buffer
+	ok, err := s.WriteJobTrace(&trace, js.ID)
+	if !ok || err != nil {
+		t.Fatalf("WriteJobTrace: ok=%v err=%v", ok, err)
+	}
+	var doc struct {
+		OtherData struct {
+			TraceID string `json:"traceId"`
+		} `json:"otherData"`
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	if doc.OtherData.TraceID != c.TraceID {
+		t.Errorf("trace document ID %q, want %q", doc.OtherData.TraceID, c.TraceID)
+	}
+	layers := map[string]bool{}
+	simSpans := 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Pid == 1 && ev.Name == "thread_name":
+			layers[ev.Args["name"].(string)] = true
+		case (ev.Ph == "X" || ev.Ph == "i") && ev.Pid == 1:
+			if id, _ := ev.Args["trace_id"].(string); id != c.TraceID {
+				t.Errorf("wall event %q carries trace_id %v, want %q", ev.Name, ev.Args["trace_id"], c.TraceID)
+			}
+		case ev.Ph == "X" && ev.Pid > 1:
+			simSpans++
+		}
+	}
+	for _, want := range []string{"client", "http", "queue", "scheduler", "store", "runner"} {
+		if !layers[want] {
+			t.Errorf("merged trace missing wall layer %q (got %v)", want, layers)
+		}
+	}
+	if simSpans == 0 {
+		t.Error("merged trace has no sim-time spans")
+	}
+
+	logMu.Lock()
+	logs := logBuf.String()
+	logMu.Unlock()
+	idTag := "trace_id=" + c.TraceID
+	var jobLines, faultWithID int
+	for _, line := range strings.Split(logs, "\n") {
+		if !strings.Contains(line, "job="+js.ID) {
+			continue
+		}
+		jobLines++
+		if !strings.Contains(line, idTag) {
+			t.Errorf("job log line missing %s: %s", idTag, line)
+		}
+		if strings.Contains(line, "fault=") {
+			faultWithID++
+		}
+	}
+	if jobLines == 0 {
+		t.Error("no structured log lines for the job")
+	}
+	if faultWithID == 0 {
+		t.Errorf("no log line carries both the trace ID and a fault annotation:\n%s", logs)
+	}
+}
+
+// TestStatuszSnapshot checks the introspection payload over HTTP: queue
+// capacity, per-state job counts, store stats, and fault armament reflect a
+// job that just ran.
+func TestStatuszSnapshot(t *testing.T) {
+	inj, err := faults.FromSpec(1, "slow_job:1:1:1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.OpenConfig(store.Config{Dir: t.TempDir(), Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSched(t, service.Config{
+		Store: st, Workers: 1, QueueCap: 9,
+		CollectMetrics: true, Faults: inj, Tracer: obs.NewWallTracer(0),
+	})
+	srv := httptest.NewServer(s.TraceMiddleware(s.Handler()))
+	t.Cleanup(srv.Close)
+
+	_, release := resetBlock()
+	close(release) // job passes straight through the block
+	js := submit(t, s, "test-block", 1)
+	js = waitJob(t, s, js.ID)
+	if js.State != service.StateDone {
+		t.Fatalf("job state %s, want done", js.State)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Queue.Capacity != 9 {
+		t.Errorf("queue capacity %d, want 9", status.Queue.Capacity)
+	}
+	if status.Jobs.Done != 1 || status.Jobs.Total != 1 {
+		t.Errorf("job counts %+v, want 1 done of 1", status.Jobs)
+	}
+	if status.Scheduler.Submitted != 1 {
+		t.Errorf("submitted %d, want 1", status.Scheduler.Submitted)
+	}
+	if !status.TraceEnabled || status.WallSpans == 0 {
+		t.Errorf("trace status %v/%d, want enabled with spans", status.TraceEnabled, status.WallSpans)
+	}
+	if !status.Faults.Armed {
+		t.Error("fault injector not reported armed")
+	}
+	if status.UptimeSeconds <= 0 {
+		t.Errorf("uptime %v, want > 0", status.UptimeSeconds)
+	}
+}
+
+// lockedWriter serialises concurrent log writes from scheduler goroutines.
+type lockedWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

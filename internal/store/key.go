@@ -34,6 +34,15 @@ func ResultKey(experiment string, opt experiments.OptionsKey, fingerprint string
 	return hex.EncodeToString(sum[:])
 }
 
+// ShortKey abbreviates a content address for span args and log lines, where
+// the full 64 hex digits are noise.
+func ShortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
 // ValidKey reports whether k has the shape ResultKey produces (64 hex
 // digits). Serving layers check it before touching the filesystem, so an
 // attacker-supplied key cannot traverse outside the cache directory.

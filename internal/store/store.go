@@ -22,6 +22,7 @@ package store
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -165,6 +166,33 @@ func (s *Store) Metric(name string) uint64 {
 	return s.met.rec.FindCounter("store", name, "").Value()
 }
 
+// Stats is a point-in-time snapshot of the store's health counters, shaped
+// for the service's /statusz endpoint.
+type Stats struct {
+	// MemEntries is the current in-memory LRU population.
+	MemEntries int `json:"mem_entries"`
+	// The remaining fields mirror the store self-metrics: degradation and
+	// corruption counters since the store opened.
+	ReadErrors         uint64 `json:"read_errors"`
+	EntriesQuarantined uint64 `json:"entries_quarantined"`
+	ChecksumFailures   uint64 `json:"checksum_failures"`
+	WritesDegraded     uint64 `json:"writes_degraded"`
+	ReadsDegraded      uint64 `json:"reads_degraded"`
+}
+
+// Stats returns the store's current health counters.
+func (s *Store) Stats() Stats {
+	st := Stats{MemEntries: s.MemLen()}
+	s.met.Lock()
+	st.ReadErrors = s.met.readErrors.Value()
+	st.EntriesQuarantined = s.met.quarantined.Value()
+	st.ChecksumFailures = s.met.checksumFails.Value()
+	st.WritesDegraded = s.met.writeDegraded.Value()
+	st.ReadsDegraded = s.met.readDegraded.Value()
+	s.met.Unlock()
+	return st
+}
+
 // Dir returns the cache directory.
 func (s *Store) Dir() string { return s.dir }
 
@@ -185,6 +213,31 @@ func (s *Store) QuarantinePath(key string) string {
 // (moved to QuarantinePath) and reported as a miss, so one bad file cannot
 // poison its key forever and the evidence survives for inspection.
 func (s *Store) Get(key string) (*Entry, bool, error) {
+	return s.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get under a request context: when ctx carries an
+// obs.TraceContext, the read emits a wall-clock "store.get" span annotated
+// with its outcome (mem/disk hit, miss, error), and injected faults,
+// quarantines, and checksum failures become span events and structured log
+// lines stamped with the trace ID.
+func (s *Store) GetCtx(ctx context.Context, key string) (*Entry, bool, error) {
+	tc := obs.TraceContextFrom(ctx)
+	sp := tc.Start("store", "store", "store.get", obs.WArg{Key: "key", Val: ShortKey(key)})
+	e, ok, err := s.get(tc, key)
+	switch {
+	case err != nil:
+		sp.Annotate("outcome", "error")
+	case ok:
+		sp.Annotate("outcome", "hit")
+	default:
+		sp.Annotate("outcome", "miss")
+	}
+	sp.End()
+	return e, ok, err
+}
+
+func (s *Store) get(tc *obs.TraceContext, key string) (*Entry, bool, error) {
 	if !ValidKey(key) {
 		return nil, false, fmt.Errorf("store: malformed key %q", key)
 	}
@@ -198,6 +251,7 @@ func (s *Store) Get(key string) (*Entry, bool, error) {
 	s.mu.Unlock()
 	if err := s.faults.Err(faults.StoreRead, "store get"); err != nil {
 		s.count(s.met.readErrors)
+		s.noteFault(tc, "store.get", faults.StoreRead, key, err)
 		return nil, false, err
 	}
 	data, err := os.ReadFile(s.Path(key))
@@ -206,17 +260,18 @@ func (s *Store) Get(key string) (*Entry, bool, error) {
 	}
 	if err != nil {
 		s.count(s.met.readErrors)
+		tc.Logger().Error("store read failed", "key", ShortKey(key), "error", err)
 		return nil, false, err
 	}
 	data = s.faults.CorruptBytes(data)
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		s.quarantine(key)
+		s.quarantine(tc, key, "malformed entry JSON")
 		return nil, false, nil
 	}
 	if !e.ChecksumOK() {
 		s.count(s.met.checksumFails)
-		s.quarantine(key)
+		s.quarantine(tc, key, "checksum mismatch")
 		return nil, false, nil
 	}
 	s.mu.Lock()
@@ -225,11 +280,21 @@ func (s *Store) Get(key string) (*Entry, bool, error) {
 	return &e, true, nil
 }
 
+// noteFault records an injected store fault on the request's trace: an
+// instant span event on the store row plus a structured log line carrying
+// the fault class, so chaos runs can be audited from either artifact.
+func (s *Store) noteFault(tc *obs.TraceContext, site string, class faults.Class, key string, err error) {
+	tc.Instant("store", "fault:"+class.String(), obs.WArg{Key: "fault", Val: class.String()}, obs.WArg{Key: "key", Val: ShortKey(key)})
+	tc.Logger().Warn("injected store fault", "fault", class.String(), "site", site, "key", ShortKey(key), "error", err)
+}
+
 // quarantine moves the disk file behind key aside (falling back to removal
 // if the rename fails), so a corrupt entry neither shadows its key nor
 // vanishes before it can be inspected.
-func (s *Store) quarantine(key string) {
+func (s *Store) quarantine(tc *obs.TraceContext, key, why string) {
 	s.count(s.met.quarantined)
+	tc.Instant("store", "quarantine", obs.WArg{Key: "key", Val: ShortKey(key)}, obs.WArg{Key: "why", Val: why})
+	tc.Logger().Warn("store entry quarantined", "key", ShortKey(key), "why", why, "fault", faults.CorruptEntry.String())
 	if err := os.Rename(s.Path(key), s.QuarantinePath(key)); err != nil {
 		os.Remove(s.Path(key))
 	}
@@ -238,6 +303,25 @@ func (s *Store) quarantine(key string) {
 // Put stores the entry on disk (atomically, via temp file + rename) and in
 // the in-memory LRU, stamping its checksum.
 func (s *Store) Put(e *Entry) error {
+	return s.PutCtx(context.Background(), e)
+}
+
+// PutCtx is Put under a request context, emitting a "store.put" span and
+// fault annotations the same way GetCtx does.
+func (s *Store) PutCtx(ctx context.Context, e *Entry) error {
+	tc := obs.TraceContextFrom(ctx)
+	sp := tc.Start("store", "store", "store.put", obs.WArg{Key: "key", Val: ShortKey(e.Key)})
+	err := s.put(tc, e)
+	if err != nil {
+		sp.Annotate("outcome", "error")
+	} else {
+		sp.Annotate("outcome", "ok")
+	}
+	sp.End()
+	return err
+}
+
+func (s *Store) put(tc *obs.TraceContext, e *Entry) error {
 	if !ValidKey(e.Key) {
 		return fmt.Errorf("store: malformed key %q", e.Key)
 	}
@@ -247,9 +331,11 @@ func (s *Store) Put(e *Entry) error {
 		return err
 	}
 	if err := s.faults.Err(faults.StoreWrite, "store put"); err != nil {
+		s.noteFault(tc, "store.put", faults.StoreWrite, e.Key, err)
 		return err
 	}
 	if err := writeFileAtomic(s.Path(e.Key), append(data, '\n')); err != nil {
+		tc.Logger().Error("store write failed", "key", ShortKey(e.Key), "error", err)
 		return err
 	}
 	s.mu.Lock()
@@ -294,7 +380,16 @@ func (s *Store) MemLen() int {
 // write caches the computed entry in memory only (writes_degraded), so
 // compute errors are the only errors GetOrCompute returns.
 func (s *Store) GetOrCompute(key string, compute func() (*Entry, error)) (*Entry, bool, error) {
-	e, ok, err := s.Get(key)
+	return s.GetOrComputeCtx(context.Background(), key, compute)
+}
+
+// GetOrComputeCtx is GetOrCompute under a request context: the embedded read
+// and write emit store spans, a caller blocked on another caller's in-flight
+// computation emits a "store.flight-wait" span (making single-flight dedup
+// visible on the timeline), and degraded paths log with the trace ID.
+func (s *Store) GetOrComputeCtx(ctx context.Context, key string, compute func() (*Entry, error)) (*Entry, bool, error) {
+	tc := obs.TraceContextFrom(ctx)
+	e, ok, err := s.GetCtx(ctx, key)
 	if ok {
 		return e, true, nil
 	}
@@ -302,6 +397,7 @@ func (s *Store) GetOrCompute(key string, compute func() (*Entry, error)) (*Entry
 		// Compute-through: the cache is broken for this read, the
 		// simulation is not.
 		s.count(s.met.readDegraded)
+		tc.Logger().Warn("store read degraded to compute-through", "key", ShortKey(key), "error", err)
 	}
 	for {
 		s.mu.Lock()
@@ -318,7 +414,9 @@ func (s *Store) GetOrCompute(key string, compute func() (*Entry, error)) (*Entry
 		}
 		s.mu.Unlock()
 		if inflight {
+			sp := tc.Start("store", "store", "store.flight-wait", obs.WArg{Key: "key", Val: ShortKey(key)})
 			<-f.done
+			sp.End()
 			if f.err != nil {
 				return nil, false, f.err
 			}
@@ -328,10 +426,11 @@ func (s *Store) GetOrCompute(key string, compute func() (*Entry, error)) (*Entry
 		}
 		e, err := compute()
 		if err == nil {
-			if perr := s.Put(e); perr != nil {
+			if perr := s.PutCtx(ctx, e); perr != nil {
 				// Degrade to memory-only caching: the result is correct,
 				// only its persistence failed.
 				s.count(s.met.writeDegraded)
+				tc.Logger().Warn("store write degraded to memory-only", "key", ShortKey(key), "error", perr)
 				s.mu.Lock()
 				s.insert(e)
 				s.mu.Unlock()
