@@ -11,14 +11,26 @@
 //	     [-workers 2] [-parallel 0] [-lru 128] [-drain 60s]
 //	     [-job-timeout 0] [-retries 0] [-faults spec] [-fault-seed 1]
 //	     [-log-level info] [-trace] [-trace-spans N]
+//	     [-self URL -peers URL,URL,... [-replicas 2] [-vnodes 64]
+//	      [-ring-seed 1] [-node-name NAME]]
 //
 // -job-timeout bounds each execution attempt and -retries gives failed
 // (non-cancelled) jobs a bounded retry budget. -faults arms the
 // deterministic fault injector for chaos drills: a comma-separated list of
 // class:every:max[:delay] rules (or "all:every:max") over the classes
 // store_read, store_write, corrupt_entry, worker_panic, slow_job,
-// http_error, http_drop; -fault-seed picks the schedule. The same seed and
-// spec replay the same fault schedule.
+// http_error, http_drop, peer_down, peer_slow; -fault-seed picks the
+// schedule. The same seed and spec replay the same fault schedule.
+//
+// Cluster mode (-self + -peers, see internal/cluster) shards the result
+// space across nodes with a consistent-hash ring: submissions and result
+// reads forward to each key's owning node, freshly computed entries
+// replicate to -replicas ring successors, and replica misses read-repair
+// from the owners. Every node must be started with the same total member
+// set (its own -self plus -peers), -replicas, -vnodes, and -ring-seed; the
+// ring is pure configuration, so no coordination service is involved.
+// -node-name (default: the -self URL's host:port) names this node in job
+// statuses and the qsmload balance report.
 //
 // Observability: every request runs under a trace ID (adopted from the
 // X-Qsm-Trace header or minted per request) that appears on each structured
@@ -35,6 +47,7 @@
 //	GET    /v1/jobs/{id}/trace merged wall + sim Perfetto trace (with -trace)
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/results/{key}   cached result (tables + bench + metrics JSON)
+//	PUT    /v1/results/{key}   accept a replicated entry (cluster mode)
 //	GET    /healthz            liveness and drain state
 //	GET    /metricsz           metrics registry as Prometheus text
 //	GET    /statusz            live introspection snapshot (JSON)
@@ -55,11 +68,15 @@ import (
 	"flag"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -82,6 +99,12 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		traceOn    = flag.Bool("trace", false, "record wall-clock spans for every serving layer (export at /v1/jobs/{id}/trace)")
 		traceSpans = flag.Int("trace-spans", 0, "wall-span buffer bound (0 = default)")
+		self       = flag.String("self", "", "this node's advertised base URL (enables cluster mode with -peers)")
+		peersFlag  = flag.String("peers", "", "comma-separated peer base URLs (cluster mode)")
+		replicas   = flag.Int("replicas", 2, "cluster copies of each result, owner included (1 disables replication)")
+		vnodes     = flag.Int("vnodes", cluster.DefaultVNodes, "ring virtual nodes per member; must match across the cluster")
+		ringSeed   = flag.Int64("ring-seed", 1, "ring placement seed; must match across the cluster")
+		nodeName   = flag.String("node-name", "", "node name stamped into job statuses (default: -self host:port)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, obs.ParseLogLevel(*logLevel))
@@ -105,11 +128,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	peers := splitPeers(*peersFlag)
+	clustered := *self != "" || len(peers) > 0
+	if clustered && (*self == "" || len(peers) == 0) {
+		fatal(errors.New("cluster mode needs both -self and -peers"))
+	}
+	name := *nodeName
+	if clustered && name == "" {
+		if u, perr := url.Parse(*self); perr == nil && u.Host != "" {
+			name = u.Host
+		} else {
+			name = *self
+		}
+	}
+	// The scheduler's state hook reaches the cluster node through an atomic
+	// pointer: the node wraps the scheduler's handler, so the scheduler must
+	// exist first, but the hook only fires once jobs run.
+	var nodePtr atomic.Pointer[cluster.Node]
 	sched, err := service.New(service.Config{
 		Store:          st,
 		QueueCap:       *queueCap,
 		Workers:        *workers,
 		SimParallelism: *parallel,
+		NodeName:       name,
 		CollectMetrics: true,
 		CollectTrace:   *traceOn,
 		JobTimeout:     *jobTimeout,
@@ -117,21 +158,59 @@ func main() {
 		Faults:         inj,
 		Log:            logger,
 		Tracer:         tracer,
+		StateHook: func(js service.JobStatus) {
+			if nd := nodePtr.Load(); nd != nil {
+				nd.JobStateHook(js)
+			}
+		},
 	})
 	if err != nil {
 		fatal(err)
 	}
+	var node *cluster.Node
+	apiHandler := sched.Handler()
+	if clustered {
+		node, err = cluster.New(cluster.Config{
+			Self:     *self,
+			Peers:    peers,
+			Replicas: *replicas,
+			VNodes:   *vnodes,
+			RingSeed: *ringSeed,
+			Store:    st,
+			Sched:    sched,
+			Faults:   inj,
+			Log:      logger,
+			Tracer:   tracer,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		nodePtr.Store(node)
+		apiHandler = node.Handler()
+		logger.Info("cluster mode", "self", *self, "node", name, "members", len(peers)+1,
+			"replicas", *replicas, "vnodes", *vnodes, "ring_seed", *ringSeed)
+	}
 
 	// The API runs traced and fault-injected (trace middleware outermost, so
 	// injected aborts still commit their request span); the debug surface
-	// bypasses both so profiling and introspection survive chaos drills.
+	// bypasses both so profiling and introspection survive chaos drills. In
+	// cluster mode the cluster router wraps the local API inside the same
+	// chain, and /statusz grows a cluster section.
 	mux := http.NewServeMux()
-	mux.Handle("/", sched.TraceMiddleware(faults.Middleware(inj, sched.Handler())))
+	mux.Handle("/", sched.TraceMiddleware(faults.Middleware(inj, apiHandler)))
 	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		payload := struct {
+			service.Status
+			Cluster *cluster.Status `json:"cluster,omitempty"`
+		}{Status: sched.Status()}
+		if node != nil {
+			cs := node.Status()
+			payload.Cluster = &cs
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(sched.Status())
+		enc.Encode(payload)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -165,5 +244,21 @@ func main() {
 		logger.Error("drain incomplete", "err", err)
 		os.Exit(1)
 	}
+	if node != nil {
+		// After the drain every terminal state hook has fired; Close waits
+		// for the replication pushes those hooks spawned.
+		node.Close()
+	}
 	logger.Info("drained cleanly")
+}
+
+// splitPeers parses the -peers list.
+func splitPeers(s string) []string {
+	var urls []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			urls = append(urls, strings.TrimRight(p, "/"))
+		}
+	}
+	return urls
 }

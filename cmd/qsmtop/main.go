@@ -12,6 +12,10 @@
 // In live mode the screen redraws every -interval until interrupted; -once
 // prints a single snapshot and exits (non-zero when the server is
 // unreachable), which is what the CI smoke uses.
+//
+// Against a cluster-mode qsmd the dashboard adds a cluster pane: peer
+// liveness, each member's ring ownership share, and the node's forwarded vs
+// local request and replication counters.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -75,10 +80,14 @@ func main() {
 // render fetches one /statusz + /metricsz snapshot and writes the dashboard
 // frame to w.
 func render(w io.Writer, client *http.Client, base string, metricsN int) error {
-	var st service.Status
-	if err := getJSON(client, base+"/statusz", &st); err != nil {
+	var payload struct {
+		service.Status
+		Cluster *cluster.Status `json:"cluster"`
+	}
+	if err := getJSON(client, base+"/statusz", &payload); err != nil {
 		return err
 	}
+	st := payload.Status
 
 	fmt.Fprintf(w, "qsmd %s — up %s — fingerprint %s — %s\n",
 		base, fmtDuration(time.Duration(st.UptimeSeconds*float64(time.Second))),
@@ -107,6 +116,9 @@ func render(w io.Writer, client *http.Client, base string, metricsN int) error {
 	} else {
 		fmt.Fprintf(w, "faults  unarmed\n")
 	}
+	if cs := payload.Cluster; cs != nil {
+		renderCluster(w, cs)
+	}
 
 	if metricsN > 0 {
 		lines, err := serviceMetrics(client, base+"/metricsz", metricsN)
@@ -121,6 +133,36 @@ func render(w io.Writer, client *http.Client, base string, metricsN int) error {
 		}
 	}
 	return nil
+}
+
+// renderCluster writes the cluster pane: membership and routing counters on
+// the node line, then one row per peer with liveness and ring share.
+func renderCluster(w io.Writer, cs *cluster.Status) {
+	fmt.Fprintf(w, "\ncluster %d members   replicas %d   vnodes %d   seed %d\n",
+		len(cs.Members), cs.Replicas, cs.VNodes, cs.RingSeed)
+	fmt.Fprintf(w, "  route forwarded %d   local %d   fallback %d   fwd-failures %d\n",
+		cs.Forwarded, cs.Local, cs.FallbackLocal, cs.ForwardFailures)
+	fmt.Fprintf(w, "  repl  out %d   in %d   failures %d   read-repairs %d\n",
+		cs.ReplicatedOut, cs.ReplicatedIn, cs.ReplicateFailures, cs.ReadRepairs)
+	fmt.Fprintf(w, "  %-40s %-6s %8s %8s %8s\n", "member", "state", "share", "checks", "failures")
+	fmt.Fprintf(w, "  %-40s %-6s %7.1f%% %8s %8s\n", trimURL(cs.Self), "self", cs.Shares[cs.Self]*100, "-", "-")
+	for _, p := range cs.Peers {
+		state := "up"
+		if !p.Alive {
+			state = "DOWN"
+		}
+		fmt.Fprintf(w, "  %-40s %-6s %7.1f%% %8d %8d\n",
+			trimURL(p.URL), state, cs.Shares[p.URL]*100, p.Checks, p.Failures)
+		if p.LastError != "" {
+			fmt.Fprintf(w, "    last error: %s\n", p.LastError)
+		}
+	}
+}
+
+// trimURL drops the scheme so member rows fit the pane.
+func trimURL(u string) string {
+	u = strings.TrimPrefix(u, "http://")
+	return strings.TrimPrefix(u, "https://")
 }
 
 func getJSON(client *http.Client, url string, out any) error {

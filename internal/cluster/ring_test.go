@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// testKey synthesizes a deterministic 64-hex result-key stand-in.
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", 0x9e3779b97f4a7c15*uint64(i+1))
+}
+
+// TestRingGoldenPlacement pins placement: the same (seed, vnodes, members)
+// configuration must map the probe keys to the same owners and successor
+// sets forever. A diff here means every deployed cluster would reshuffle
+// its keys on upgrade — which is exactly the kind of silent break the
+// golden file exists to catch. Regenerate deliberately with -update.
+func TestRingGoldenPlacement(t *testing.T) {
+	members := []string{
+		"http://10.0.0.1:8344",
+		"http://10.0.0.2:8344",
+		"http://10.0.0.3:8344",
+		"http://10.0.0.4:8344",
+		"http://10.0.0.5:8344",
+	}
+	r, err := NewRing(42, 16, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type placement struct {
+		Key    string   `json:"key"`
+		Owner  string   `json:"owner"`
+		Owners []string `json:"owners"` // replica set at R=3
+	}
+	got := struct {
+		Seed       int                `json:"seed"`
+		VNodes     int                `json:"vnodes"`
+		Members    []string           `json:"members"`
+		Shares     map[string]float64 `json:"shares"`
+		Placements []placement        `json:"placements"`
+	}{Seed: 42, VNodes: 16, Members: r.Members(), Shares: roundShares(r.Shares())}
+	for i := 0; i < 24; i++ {
+		k := testKey(i)
+		got.Placements = append(got.Placements, placement{Key: k, Owner: r.Owner(k), Owners: r.Owners(k, 3)})
+	}
+
+	path := filepath.Join("testdata", "ring_golden.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	var want json.RawMessage = data
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON = append(gotJSON, '\n')
+	if string(gotJSON) != string(want) {
+		t.Errorf("ring placement diverged from golden file (ring hash changed?)\ngot:\n%s\nwant:\n%s", gotJSON, want)
+	}
+}
+
+// roundShares trims shares to 6 decimal places so the golden file does not
+// depend on float formatting noise.
+func roundShares(in map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(in))
+	for k, v := range in {
+		out[k] = float64(int(v*1e6+0.5)) / 1e6
+	}
+	return out
+}
+
+// TestRingDeterminism: member order and construction order must not matter.
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing(7, 32, []string{"n1", "n2", "n3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(7, 32, []string{"n3", "n1", "n2", "n1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("member normalization differs: %v vs %v", a.Members(), b.Members())
+	}
+	for i := 0; i < 200; i++ {
+		k := testKey(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: owner %s vs %s", i, a.Owner(k), b.Owner(k))
+		}
+		if !reflect.DeepEqual(a.Owners(k, 2), b.Owners(k, 2)) {
+			t.Fatalf("key %d: owners %v vs %v", i, a.Owners(k, 2), b.Owners(k, 2))
+		}
+	}
+}
+
+// TestRingRebalanceBound: adding or removing one member moves at most K/n
+// of K keys (n = the smaller membership), the consistent-hashing contract
+// that makes membership changes cheap. A modulo-hash placement would move
+// ~K·(n-1)/n and fail this immediately.
+func TestRingRebalanceBound(t *testing.T) {
+	const K = 10000
+	members := []string{"n1", "n2", "n3", "n4"}
+	before, err := NewRing(1, 64, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("add-member", func(t *testing.T) {
+		after, err := NewRing(1, 64, append([]string{"n5"}, members...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < K; i++ {
+			if before.Owner(testKey(i)) != after.Owner(testKey(i)) {
+				moved++
+			}
+		}
+		// Every moved key must have moved TO the new member — an add never
+		// shuffles keys between existing members.
+		for i := 0; i < K; i++ {
+			k := testKey(i)
+			if before.Owner(k) != after.Owner(k) && after.Owner(k) != "n5" {
+				t.Fatalf("key %d moved %s → %s, not to the new member", i, before.Owner(k), after.Owner(k))
+			}
+		}
+		if bound := K / len(members); moved > bound {
+			t.Errorf("adding a member moved %d/%d keys, bound %d", moved, K, bound)
+		}
+		t.Logf("add: moved %d/%d (ideal %d)", moved, K, K/(len(members)+1))
+	})
+
+	t.Run("remove-member", func(t *testing.T) {
+		after, err := NewRing(1, 64, members[:3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < K; i++ {
+			k := testKey(i)
+			if before.Owner(k) != after.Owner(k) {
+				moved++
+				// Only keys the removed member owned may move.
+				if before.Owner(k) != "n4" {
+					t.Fatalf("key %d moved %s → %s though its owner survived", i, before.Owner(k), after.Owner(k))
+				}
+			}
+		}
+		if bound := K / 3; moved > bound {
+			t.Errorf("removing a member moved %d/%d keys, bound %d", moved, K, bound)
+		}
+		t.Logf("remove: moved %d/%d (ideal %d)", moved, K, K/len(members))
+	})
+}
+
+// TestRingShares: shares sum to 1 and stay within a loose balance envelope
+// at production vnode counts.
+func TestRingShares(t *testing.T) {
+	r, err := NewRing(3, 128, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.Shares()
+	sum := 0.0
+	for m, s := range shares {
+		sum += s
+		if s < 0.15 || s > 0.55 {
+			t.Errorf("member %s share %.3f outside [0.15, 0.55] at 128 vnodes", m, s)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %.6f, want 1", sum)
+	}
+
+	single, err := NewRing(0, 8, []string{"only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := single.Shares()["only"]; s != 1 {
+		t.Errorf("single-member share = %v, want 1", s)
+	}
+}
+
+// TestRingOwnersProperties: replica sets are distinct, owner-prefixed, and
+// capped at the membership.
+func TestRingOwnersProperties(t *testing.T) {
+	r, err := NewRing(5, 16, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := testKey(i)
+		owners := r.Owners(k, 2)
+		if len(owners) != 2 {
+			t.Fatalf("key %d: %d owners, want 2", i, len(owners))
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("key %d: Owners[0]=%s but Owner=%s", i, owners[0], r.Owner(k))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("key %d: duplicate replica %v", i, owners)
+		}
+		if all := r.Owners(k, 99); len(all) != 3 {
+			t.Fatalf("key %d: over-asking returned %d members, want 3", i, len(all))
+		}
+	}
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(0, 8, nil); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing(0, 8, []string{"a", ""}); err == nil {
+		t.Error("empty member name accepted")
+	}
+}
+
+// FuzzRing checks the placement invariants hold for arbitrary member sets
+// and keys: every key maps to a live (configured) member, replica sets are
+// distinct subsets of the membership, and placement is insensitive to
+// member order.
+func FuzzRing(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2), "somekey")
+	f.Add(int64(99), uint8(1), uint8(1), "")
+	f.Add(int64(-7), uint8(9), uint8(4), "fffffffffffffffffffffffffffffff0")
+	f.Fuzz(func(t *testing.T, seed int64, nMembers, replicas uint8, key string) {
+		n := int(nMembers)%9 + 1 // 1..9 members
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("node-%d", i)
+		}
+		r, err := NewRing(seed, 8, members)
+		if err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+		valid := map[string]bool{}
+		for _, m := range members {
+			valid[m] = true
+		}
+		owner := r.Owner(key)
+		if !valid[owner] {
+			t.Fatalf("owner %q outside membership %v", owner, members)
+		}
+		rf := int(replicas)%10 + 1
+		owners := r.Owners(key, rf)
+		if want := min(rf, n); len(owners) != want {
+			t.Fatalf("Owners(%d) returned %d members, want %d", rf, len(owners), want)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if !valid[o] {
+				t.Fatalf("replica %q outside membership %v", o, members)
+			}
+			if seen[o] {
+				t.Fatalf("duplicate replica %q in %v", o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != owner {
+			t.Fatalf("Owners[0]=%q, Owner=%q", owners[0], owner)
+		}
+		// Reversed member order must place identically.
+		rev := make([]string, n)
+		for i, m := range members {
+			rev[n-1-i] = m
+		}
+		r2, err := NewRing(seed, 8, rev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r2.Owner(key); got != owner {
+			t.Fatalf("member order changed owner: %q vs %q", got, owner)
+		}
+	})
+}

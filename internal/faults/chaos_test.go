@@ -3,10 +3,14 @@ package faults_test
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/service"
@@ -191,15 +195,24 @@ func TestChaosSchedulesMatchFaultFree(t *testing.T) {
 				stack.shutdown(t)
 			}
 
-			rec := inj.Metrics()
-			for _, c := range faults.Classes() {
-				ctr := rec.FindCounter("faults", "injected", "class="+c.String())
-				if ctr == nil || ctr.Value() < 1 {
-					t.Errorf("fault class %s never fired under schedule %d (counts: %s)",
-						c, scheduleSeed, chaosCounts(inj))
-				}
-			}
+			// Only the classes this harness arms can fire; the peer classes
+			// need the cluster harness below.
+			assertClassesFired(t, inj, chaosRules(), scheduleSeed)
 		})
+	}
+}
+
+// assertClassesFired checks every armed class fired at least once under the
+// schedule.
+func assertClassesFired(t *testing.T, inj *faults.Injector, rules map[faults.Class]faults.Rule, scheduleSeed int64) {
+	t.Helper()
+	rec := inj.Metrics()
+	for c := range rules {
+		ctr := rec.FindCounter("faults", "injected", "class="+c.String())
+		if ctr == nil || ctr.Value() < 1 {
+			t.Errorf("fault class %s never fired under schedule %d (counts: %s)",
+				c, scheduleSeed, chaosCounts(inj))
+		}
 	}
 }
 
@@ -209,4 +222,237 @@ func chaosCounts(inj *faults.Injector) string {
 		out += fmt.Sprintf("%s=%d ", c, inj.Count(c))
 	}
 	return out
+}
+
+// ---- cluster chaos ----
+//
+// The cluster chaos sweep extends the determinism claim across node
+// boundaries: a 3-node sharded cluster, every single-node fault class PLUS
+// peer_down and peer_slow firing on inter-node requests, one node killed
+// outright mid-run — and every table served anywhere in the cluster must
+// still be byte-identical to the fault-free baseline. Forwarding failures
+// degrade to local recomputation, and the simulator's determinism makes
+// that recomputation indistinguishable from the owner's copy.
+
+// clusterChaosRules arms the single-node schedule plus the peer classes.
+func clusterChaosRules() map[faults.Class]faults.Rule {
+	rules := chaosRules()
+	rules[faults.PeerDown] = faults.Rule{Every: 7, Max: 3}
+	rules[faults.PeerSlow] = faults.Rule{Every: 5, Max: 3, Delay: 10 * time.Millisecond}
+	return rules
+}
+
+// chaosSwap lets a node's httptest server start before the node exists.
+type chaosSwap struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *chaosSwap) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *chaosSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "node not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// chaosClusterNode is one member of the chaos cluster.
+type chaosClusterNode struct {
+	name   string
+	server *httptest.Server
+	sched  *service.Scheduler
+	node   *cluster.Node
+	client *service.Client
+}
+
+// newChaosCluster builds an n-node cluster whose stores, schedulers, HTTP
+// middleware, and peer transports all share one seeded injector.
+func newChaosCluster(t *testing.T, n int, scheduleSeed int64, inj *faults.Injector) []*chaosClusterNode {
+	t.Helper()
+	nodes := make([]*chaosClusterNode, n)
+	swaps := make([]*chaosSwap, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		swaps[i] = &chaosSwap{}
+		server := httptest.NewServer(swaps[i])
+		t.Cleanup(server.Close)
+		urls[i] = server.URL
+		nodes[i] = &chaosClusterNode{name: fmt.Sprintf("n%d", i), server: server}
+	}
+	for i, cn := range nodes {
+		st, err := store.OpenConfig(store.Config{Dir: t.TempDir(), MaxMem: 1, Faults: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nodePtr atomic.Pointer[cluster.Node]
+		sched, err := service.New(service.Config{
+			Store:       st,
+			Workers:     2,
+			QueueCap:    32,
+			Fingerprint: "chaos",
+			NodeName:    cn.name,
+			JobTimeout:  30 * time.Second,
+			JobRetries:  3,
+			Faults:      inj,
+			StateHook: func(js service.JobStatus) {
+				if nd := nodePtr.Load(); nd != nil {
+					nd.JobStateHook(js)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn.sched = sched
+		peers := make([]string, 0, n-1)
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		nd, err := cluster.New(cluster.Config{
+			Self:           cn.server.URL,
+			Peers:          peers,
+			Replicas:       2,
+			VNodes:         16,
+			RingSeed:       scheduleSeed,
+			Store:          st,
+			Sched:          sched,
+			Faults:         inj,
+			HealthInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn.node = nd
+		nodePtr.Store(nd)
+		swaps[i].set(faults.Middleware(inj, nd.Handler()))
+		cn.client = &service.Client{
+			BaseURL: cn.server.URL,
+			Retry: service.RetryPolicy{
+				MaxAttempts: 8,
+				BaseBackoff: 2 * time.Millisecond,
+				MaxBackoff:  20 * time.Millisecond,
+				Seed:        scheduleSeed,
+			},
+			RequestTimeout: 10 * time.Second,
+		}
+		t.Cleanup(func() {
+			nd.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := sched.Drain(ctx); err != nil {
+				t.Errorf("drain %s: %v", cn.name, err)
+			}
+		})
+	}
+	return nodes
+}
+
+// runClusterJob pushes one job through the given front node to a fetched
+// result. On top of runJob's quarantine recovery, a cluster poll can fail
+// outright when a peer fault downs the node a submit was forwarded to (the
+// forwarded job ID is unknown everywhere else), so a failed wait or fetch
+// resubmits from scratch — which then computes locally on the front node,
+// byte-identically, because the owner is marked down.
+func runClusterJob(t *testing.T, ctx context.Context, cn *chaosClusterNode, seed int64) *store.Entry {
+	t.Helper()
+	req := service.SubmitRequest{
+		Experiment: chaosExperiment,
+		Seed:       seed,
+		Runs:       1,
+		Quick:      true,
+	}
+	for tries := 0; ; tries++ {
+		fatal := func(stage string, err error) {
+			t.Fatalf("%s seed %d via %s after %d tries: %v", stage, seed, cn.name, tries, err)
+		}
+		js, err := cn.client.Submit(ctx, req)
+		if err != nil {
+			if tries >= 6 {
+				fatal("submit", err)
+			}
+			continue
+		}
+		if js.State != service.StateDone {
+			if js, err = cn.client.Wait(ctx, js.ID, 5*time.Millisecond, nil); err != nil {
+				if tries >= 6 {
+					fatal("wait", err)
+				}
+				continue
+			}
+		}
+		if js.State != service.StateDone {
+			t.Fatalf("job seed %d via %s = %s (%s), want done", seed, cn.name, js.State, js.Error)
+		}
+		e, err := cn.client.Result(ctx, js.ResultKey)
+		if err == nil {
+			return e
+		}
+		if tries >= 6 {
+			fatal("result", err)
+		}
+	}
+}
+
+// TestClusterChaosMatchesFaultFree: two seeded schedules over a 3-node
+// cluster with every fault class armed. Each schedule round-robins the
+// workload across live front nodes, probes peer health between jobs (so
+// downed peers recover and the peer classes keep firing), kills one node
+// for good halfway through, and requires every served table to be
+// byte-identical to the fault-free baseline.
+func TestClusterChaosMatchesFaultFree(t *testing.T) {
+	want := baseline(t)
+	ctx := context.Background()
+	for _, scheduleSeed := range []int64{11, 22} {
+		t.Run(fmt.Sprintf("schedule-%d", scheduleSeed), func(t *testing.T) {
+			inj := faults.New(faults.Config{Seed: scheduleSeed, Rules: clusterChaosRules()})
+			nodes := newChaosCluster(t, 3, scheduleSeed, inj)
+			victim := nodes[2]
+			live := nodes[:2]
+
+			for i, seed := range chaosJobs {
+				if i == len(chaosJobs)/2 {
+					// Halfway: one node dies mid-run and stays dead. Keys it
+					// owned now compute on whoever receives the submit.
+					victim.server.Close()
+				}
+				front := nodes[i%3]
+				if i >= len(chaosJobs)/2 {
+					front = live[i%2]
+				}
+				e := runClusterJob(t, ctx, front, seed)
+				if e.Tables != want[seed] {
+					t.Errorf("seed %d via %s: tables diverged from fault-free run\nfaulted:\n%s\nfault-free:\n%s",
+						seed, front.name, e.Tables, want[seed])
+				}
+				// Re-probe peers so a node downed by an injected peer fault
+				// (not the real kill) comes back for the next job.
+				for _, cn := range live {
+					cn.node.CheckPeers(ctx)
+				}
+			}
+
+			// Second pass over the surviving nodes: every result is now
+			// cached or replicated somewhere reachable, and must still match.
+			for i, seed := range chaosJobs {
+				e := runClusterJob(t, ctx, live[i%2], seed)
+				if e.Tables != want[seed] {
+					t.Errorf("second pass seed %d: tables diverged\nfaulted:\n%s\nfault-free:\n%s",
+						seed, e.Tables, want[seed])
+				}
+			}
+
+			assertClassesFired(t, inj, clusterChaosRules(), scheduleSeed)
+		})
+	}
 }

@@ -55,6 +55,13 @@ const (
 	HTTPError
 	// HTTPDrop aborts an HTTP response mid-flight (connection reset).
 	HTTPDrop
+	// PeerDown fails a cluster peer request before it is sent, as if the
+	// peer's node were unreachable, exercising failover to replica owners
+	// and local fallback compute.
+	PeerDown
+	// PeerSlow stalls a cluster peer request by Rule.Delay before sending
+	// it, exercising slow-peer timeouts and health detection.
+	PeerSlow
 
 	numClasses
 )
@@ -67,6 +74,8 @@ var classNames = [numClasses]string{
 	SlowJob:      "slow_job",
 	HTTPError:    "http_error",
 	HTTPDrop:     "http_drop",
+	PeerDown:     "peer_down",
+	PeerSlow:     "peer_slow",
 }
 
 func (c Class) String() string {
@@ -98,8 +107,8 @@ type Rule struct {
 	// budgets are what let a retrying system converge, so chaos schedules
 	// should always set one.
 	Max int
-	// Delay is how long SlowJob stalls; zero means DefaultSlowDelay. Other
-	// classes ignore it.
+	// Delay is how long SlowJob and PeerSlow stall; zero means
+	// DefaultSlowDelay. Other classes ignore it.
 	Delay time.Duration
 }
 
@@ -218,12 +227,19 @@ func (inj *Injector) CorruptBytes(data []byte) []byte {
 // SlowDelay consults SlowJob once and returns the injected stall duration,
 // or zero when the class does not fire.
 func (inj *Injector) SlowDelay() time.Duration {
-	fired, _, _ := inj.fire(SlowJob)
+	return inj.Delay(SlowJob)
+}
+
+// Delay consults a stall-shaped class (SlowJob, PeerSlow) once and returns
+// the injected stall duration, or zero when the class does not fire. A rule
+// without a delay stalls DefaultSlowDelay.
+func (inj *Injector) Delay(c Class) time.Duration {
+	fired, _, _ := inj.fire(c)
 	if !fired {
 		return 0
 	}
 	inj.mu.Lock()
-	d := inj.rules[SlowJob].Delay
+	d := inj.rules[c].Delay
 	inj.mu.Unlock()
 	if d <= 0 {
 		d = DefaultSlowDelay
@@ -263,8 +279,9 @@ func (inj *Injector) WriteMetricsText(w io.Writer) error {
 // ParseRules parses a compact schedule spec: comma-separated
 // "class:every:max[:delay]" clauses, where class is a Class name
 // (store_read, store_write, corrupt_entry, worker_panic, slow_job,
-// http_error, http_drop) or "all" to apply one rule to every class, and
-// delay (slow_job only) is a Go duration. Example:
+// http_error, http_drop, peer_down, peer_slow) or "all" to apply one rule
+// to every class, and delay (slow_job and peer_slow) is a Go duration.
+// Example:
 //
 //	store_read:3:2,slow_job:4:1:50ms,http_error:5:2
 func ParseRules(spec string) (map[Class]Rule, error) {

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	sorted := make([]float64, 100)
+	for i := range sorted {
+		sorted[i] = float64(i + 1) // 1..100
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 50.5},
+		{90, 90.1},
+		{100, 100},
+		{99, 99.01},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got < c.want-0.0001 || got > c.want+0.0001 {
+			t.Errorf("Percentile(1..100, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 99.9); got != 7 {
+		t.Errorf("Percentile(single) = %v, want 7", got)
+	}
+}
+
+func TestLoadRecordFinish(t *testing.T) {
+	rec := &LoadRecord{
+		Requests:    10,
+		CacheHits:   4,
+		WallSeconds: 2,
+	}
+	rec.Finish([]float64{5, 1, 3, 2, 4})
+	if rec.Throughput != 5 {
+		t.Errorf("throughput %v, want 5", rec.Throughput)
+	}
+	if rec.CacheHitRatio != 0.4 {
+		t.Errorf("hit ratio %v, want 0.4", rec.CacheHitRatio)
+	}
+	l := rec.Latency
+	if l.Count != 5 || l.P50 != 3 || l.Max != 5 || l.Mean != 3 {
+		t.Errorf("latency summary %+v", l)
+	}
+	if l.P99 < l.P90 || l.P999 < l.P99 || l.Max < l.P999 {
+		t.Errorf("percentiles not monotone: %+v", l)
+	}
+}
+
+func TestWriteLoad(t *testing.T) {
+	dir := t.TempDir()
+	rec := &LoadRecord{Experiment: "fig2", Mode: "closed", Requests: 3}
+	rec.Finish([]float64{1, 2, 3})
+
+	path, err := WriteLoad(dir, "smoke", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "LOAD_smoke.json" {
+		t.Errorf("wrote %s, want LOAD_smoke.json", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoadRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Requests != 3 || back.Latency.P50 != 2 {
+		t.Errorf("round-tripped record %+v", back)
+	}
+
+	// Explicit .json path form.
+	file := filepath.Join(dir, "combined.json")
+	if path, err = WriteLoad(file, "ignored", rec); err != nil || path != file {
+		t.Fatalf("WriteLoad(.json path) = %s, %v", path, err)
+	}
+}

@@ -52,8 +52,15 @@ type Client struct {
 	// every request — every attempt of every retry reuses the same ID, so
 	// the server stitches a whole client conversation (submit, polls,
 	// result fetch) into one trace. Empty disables propagation; the server
-	// then mints a fresh ID per request.
+	// then mints a fresh ID per request. When TraceID is empty but the
+	// request context carries an obs.TraceContext, that context's ID is
+	// propagated instead — this is how a cluster node forwarding a request
+	// keeps the inbound request's trace ID on the hop to the owning peer.
 	TraceID string
+	// Headers, when non-nil, is added to every request. Cluster peer
+	// clients use it to mark forwarded requests (X-Qsm-Forwarded) so the
+	// receiving node serves them locally instead of re-forwarding.
+	Headers map[string]string
 	// Tracer, when non-nil, records one "client"-layer wall-clock span per
 	// attempt (retries get their own spans under the same trace ID).
 	Tracer *obs.WallTracer
@@ -162,11 +169,24 @@ func (c *Client) log() *obs.Logger {
 	return c.Log
 }
 
+// traceID resolves the ID propagated with a request: the client's own
+// TraceID when set, else the ID of an obs.TraceContext carried by ctx.
+func (c *Client) traceID(ctx context.Context) string {
+	if obs.ValidTraceID(c.TraceID) {
+		return c.TraceID
+	}
+	if tc := obs.TraceContextFrom(ctx); tc != nil && obs.ValidTraceID(tc.ID) {
+		return tc.ID
+	}
+	return ""
+}
+
 // once issues a single attempt. The returned status is 0 for
 // transport-level failures and the HTTP status otherwise.
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, attempt int) (status int, err error) {
-	if c.Tracer.Enabled() && obs.ValidTraceID(c.TraceID) {
-		sp := c.Tracer.Start(c.TraceID, "client", "request",
+	traceID := c.traceID(ctx)
+	if c.Tracer.Enabled() && obs.ValidTraceID(traceID) {
+		sp := c.Tracer.Start(traceID, "client", "request",
 			method+" "+path,
 			obs.WArg{Key: "attempt", Val: strconv.Itoa(attempt)})
 		defer func() {
@@ -194,8 +214,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	if obs.ValidTraceID(c.TraceID) {
-		req.Header.Set(obs.TraceHeader, c.TraceID)
+	if obs.ValidTraceID(traceID) {
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
+	for k, v := range c.Headers {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -245,6 +268,28 @@ func (c *Client) Result(ctx context.Context, key string) (*store.Entry, error) {
 		return nil, err
 	}
 	return &e, nil
+}
+
+// PutResult pushes a complete result entry to the server's store; cluster
+// nodes use it to replicate an owner's freshly computed entries to the
+// key's successor replicas. The receiving node verifies the entry's key and
+// checksum before accepting it.
+func (c *Client) PutResult(ctx context.Context, e *store.Entry) error {
+	return c.do(ctx, http.MethodPut, "/v1/results/"+url.PathEscape(e.Key), e, nil)
+}
+
+// HealthStatus is the /healthz payload.
+type HealthStatus struct {
+	Status      string `json:"status"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Health fetches the server's liveness and code fingerprint; cluster health
+// checks use it to detect dead peers and fingerprint skew.
+func (c *Client) Health(ctx context.Context) (HealthStatus, error) {
+	var h HealthStatus
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
 }
 
 // JobTrace fetches a job's merged Perfetto trace as raw JSON.

@@ -78,8 +78,13 @@ type Config struct {
 	// goroutines one simulation sweep fans across). 0 means GOMAXPROCS.
 	SimParallelism int
 	// Fingerprint identifies the code in cache keys; empty means
-	// store.Fingerprint().
+	// store.Fingerprint(). Cluster nodes must share one fingerprint or
+	// their ring placements disagree.
 	Fingerprint string
+	// NodeName identifies this scheduler's node in a cluster; it is stamped
+	// into every JobStatus so clients (and the qsmload balance report) can
+	// tell which node executed a job. Empty for single-node deployments.
+	NodeName string
 	// CollectMetrics attaches an obs sink to each computed job and stores
 	// the aggregated metrics JSON (and simulated-event counts) in entries.
 	CollectMetrics bool
@@ -147,7 +152,10 @@ type JobStatus struct {
 	// TraceID is the trace this job's spans and log lines are tagged with;
 	// empty when tracing is disabled.
 	TraceID string `json:"trace_id,omitempty"`
-	State   State  `json:"state"`
+	// Node names the cluster node that ran (or is running) the job; empty
+	// on single-node deployments.
+	Node  string `json:"node,omitempty"`
+	State State  `json:"state"`
 	// Cached reports the job was served from the result store (at admission
 	// or by sharing another job's in-flight computation).
 	Cached   bool   `json:"cached"`
@@ -171,6 +179,7 @@ type job struct {
 	opts       experiments.OptionsKey
 	cacheKey   string
 	traceID    string
+	node       string
 	// ctx carries the job's obs.TraceContext, so store I/O and compute done
 	// under it trace and log with the job's identity.
 	ctx    context.Context
@@ -223,6 +232,7 @@ func (j *job) status() JobStatus {
 		Experiment:     j.experiment,
 		Options:        j.opts,
 		TraceID:        j.traceID,
+		Node:           j.node,
 		State:          j.state,
 		Cached:         j.cached,
 		CacheKey:       j.cacheKey,
@@ -456,13 +466,21 @@ func (s *Scheduler) register(req Request, key, traceID string) *job {
 
 func (s *Scheduler) registerLocked(req Request, key, traceID string) *job {
 	s.nextSeq++
+	// Cluster nodes namespace job IDs with their node name: IDs cross node
+	// boundaries when a forwarded submit's ID is later polled on another
+	// node, and bare sequence numbers would collide across the cluster.
+	id := fmt.Sprintf("job-%d", s.nextSeq)
+	if s.cfg.NodeName != "" {
+		id = fmt.Sprintf("job-%s-%d", s.cfg.NodeName, s.nextSeq)
+	}
 	j := &job{
 		seq:        s.nextSeq,
-		id:         fmt.Sprintf("job-%d", s.nextSeq),
+		id:         id,
 		experiment: req.Experiment,
 		opts:       req.Options,
 		cacheKey:   key,
 		traceID:    traceID,
+		node:       s.cfg.NodeName,
 		state:      StateQueued,
 		created:    time.Now(),
 	}
