@@ -228,6 +228,7 @@ func main() {
 			SimEvents:   ev1 - ev0,
 			AllocBytes:  m1.TotalAlloc - m0.TotalAlloc,
 			Allocs:      m1.Mallocs - m0.Mallocs,
+			Extra:       r.Extra,
 		}
 		rec.Finish()
 		recs = append(recs, rec)
@@ -314,6 +315,7 @@ func computeEntry(fingerprint, key, id string, opt experiments.Options, metrics 
 		SimEvents:   ev1 - ev0,
 		AllocBytes:  m1.TotalAlloc - m0.TotalAlloc,
 		Allocs:      m1.Mallocs - m0.Mallocs,
+		Extra:       r.Extra,
 	}
 	bench.Finish()
 	entry := &store.Entry{

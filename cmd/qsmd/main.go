@@ -88,6 +88,7 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:8344", "listen address")
 		cacheDir   = flag.String("cache", "qsmd-cache", "result cache directory")
 		queueCap   = flag.Int("queue", 64, "submission queue capacity (excess submissions get 429)")
+		aging      = flag.Duration("aging", 5*time.Second, "queue aging step: +1 effective priority per step waited (starvation protection)")
 		workers    = flag.Int("workers", 2, "jobs simulated concurrently")
 		parallel   = flag.Int("parallel", 0, "worker goroutines per simulation sweep (0 = GOMAXPROCS)")
 		lru        = flag.Int("lru", store.DefaultMaxMem, "in-memory LRU entry bound in front of the disk cache")
@@ -148,6 +149,7 @@ func main() {
 	sched, err := service.New(service.Config{
 		Store:          st,
 		QueueCap:       *queueCap,
+		AgingStep:      *aging,
 		Workers:        *workers,
 		SimParallelism: *parallel,
 		NodeName:       name,

@@ -59,6 +59,9 @@ func main() {
 		rate        = flag.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
 		maxInflight = flag.Int("max-inflight", 256, "open-loop cap on concurrent requests; arrivals beyond it count as errors")
 		keys        = flag.Int("keys", 20, "distinct job seeds (the key universe)")
+		tenant      = flag.String("tenant", "", "tenant name stamped on every submission (fair-share queuing)")
+		priority    = flag.Int("priority", 0, "submission priority (higher dequeues first, subject to aging)")
+		deadlineMS  = flag.Int64("deadline-ms", 0, "per-job deadline in milliseconds (0 = none)")
 		zipfS       = flag.Float64("zipf", 1.1, "Zipf skew exponent for key choice; <= 1 means uniform")
 		seed        = flag.Int64("seed", 1, "generator seed (key sequence and worker jitter)")
 		out         = flag.String("out", "", "write LOAD_<name>.json under this directory (or to this file if it ends in .json); default stdout")
@@ -77,15 +80,18 @@ func main() {
 	}
 
 	g := &generator{
-		urls:      urls,
-		exp:       *experiment,
-		runs:      *runs,
-		quick:     *quick,
-		keys:      *keys,
-		zipfS:     *zipfS,
-		seed:      *seed,
-		pollEvery: *pollEvery,
-		perNode:   map[string]uint64{},
+		urls:       urls,
+		exp:        *experiment,
+		runs:       *runs,
+		quick:      *quick,
+		keys:       *keys,
+		zipfS:      *zipfS,
+		seed:       *seed,
+		tenant:     *tenant,
+		priority:   *priority,
+		deadlineMS: *deadlineMS,
+		pollEvery:  *pollEvery,
+		perNode:    map[string]uint64{},
 	}
 	for _, u := range urls {
 		g.clients = append(g.clients, &service.Client{
@@ -158,15 +164,18 @@ func splitTargets(s string) []string {
 
 // generator holds the shared load-run state.
 type generator struct {
-	urls      []string
-	clients   []*service.Client
-	exp       string
-	runs      int
-	quick     bool
-	keys      int
-	zipfS     float64
-	seed      int64
-	pollEvery time.Duration
+	urls       []string
+	clients    []*service.Client
+	exp        string
+	runs       int
+	quick      bool
+	keys       int
+	zipfS      float64
+	seed       int64
+	tenant     string
+	priority   int
+	deadlineMS int64
+	pollEvery  time.Duration
 
 	requests  atomic.Uint64
 	errors    atomic.Uint64
@@ -194,7 +203,10 @@ func (g *generator) keyPicker(stream int64) func() int64 {
 // end-to-end latency, cache outcome, and executing node.
 func (g *generator) one(ctx context.Context, key int64) {
 	c := g.clients[g.next.Add(1)%uint64(len(g.clients))]
-	req := service.SubmitRequest{Experiment: g.exp, Seed: key, Runs: g.runs, Quick: g.quick}
+	req := service.SubmitRequest{
+		Experiment: g.exp, Seed: key, Runs: g.runs, Quick: g.quick,
+		Tenant: g.tenant, Priority: g.priority, DeadlineMS: g.deadlineMS,
+	}
 	start := time.Now()
 	js, err := c.Submit(ctx, req)
 	if err == nil && js.State != service.StateDone && js.State != service.StateFailed {

@@ -97,12 +97,14 @@ func render(w io.Writer, client *http.Client, base string, metricsN int) error {
 		state = "DRAINING"
 	}
 	fmt.Fprintf(w, "state   %-10s workers %d   goroutines %d\n", state, st.Workers, st.Goroutines)
-	fmt.Fprintf(w, "queue   %d/%d waiting\n", st.Queue.Depth, st.Queue.Capacity)
+	fmt.Fprintf(w, "queue   %d/%d waiting%s\n", st.Queue.Depth, st.Queue.Capacity, fmtTenants(st.Queue.Tenants))
 	fmt.Fprintf(w, "jobs    queued %d   running %d   done %d   failed %d   (total %d)\n",
 		st.Jobs.Queued, st.Jobs.Running, st.Jobs.Done, st.Jobs.Failed, st.Jobs.Total)
-	fmt.Fprintf(w, "sched   submitted %d   cache hit/miss %d/%d   retried %d   rejected %d   failed %d   inflight %d\n",
+	fmt.Fprintf(w, "sched   submitted %d   cache hit/miss %d/%d   retried %d   rejected %d   failed %d   inflight %d   coalesced %d (%d batches)\n",
 		st.Scheduler.Submitted, st.Scheduler.CacheHits, st.Scheduler.CacheMisses,
-		st.Scheduler.Retried, st.Scheduler.Rejected, st.Scheduler.Failed, st.Scheduler.Inflight)
+		st.Scheduler.Retried, st.Scheduler.Rejected, st.Scheduler.Failed, st.Scheduler.Inflight,
+		st.Scheduler.Coalesced, st.Scheduler.CoalescedBatches)
+	renderSched(w, st.Sched)
 	fmt.Fprintf(w, "store   mem %d   read-errors %d   checksum-fail %d   quarantined %d   degraded reads/writes %d/%d\n",
 		st.Store.MemEntries, st.Store.ReadErrors, st.Store.ChecksumFailures,
 		st.Store.EntriesQuarantined, st.Store.ReadsDegraded, st.Store.WritesDegraded)
@@ -133,6 +135,42 @@ func render(w io.Writer, client *http.Client, base string, metricsN int) error {
 		}
 	}
 	return nil
+}
+
+// renderSched writes the work-stealing pane: process-wide steal totals since
+// start plus, for every pool currently inside a sweep, its per-worker deque
+// depths — the live picture of how evenly the sweep's work is spread.
+func renderSched(w io.Writer, ss service.SchedStatus) {
+	fmt.Fprintf(w, "steal   steals %d   overflows %d   parks %d   live pools %d\n",
+		ss.Steals, ss.Overflows, ss.Parks, len(ss.Pools))
+	for _, p := range ss.Pools {
+		depths := make([]string, len(p.Depths))
+		for i, d := range p.Depths {
+			depths[i] = fmt.Sprintf("%d", d)
+		}
+		fmt.Fprintf(w, "  pool %-12s workers %d   jobs %d/%d claimed   steals %d   depths [%s]\n",
+			p.Name, p.Workers, p.Claimed, p.Jobs, p.Steals, strings.Join(depths, " "))
+	}
+}
+
+// fmtTenants renders per-tenant queue depths as a suffix for the queue line.
+func fmtTenants(tenants map[string]int) string {
+	if len(tenants) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(tenants))
+	for t := range tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, t := range names {
+		if t == "" {
+			t = "(default)"
+		}
+		parts = append(parts, fmt.Sprintf("%s %d", t, tenants[t]))
+	}
+	return "   by tenant: " + strings.Join(parts, "   ")
 }
 
 // renderCluster writes the cluster pane: membership and routing counters on

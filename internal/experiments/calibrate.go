@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"runtime"
+
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/models"
@@ -119,24 +121,36 @@ func emptySyncCost(net machine.NetParams, p int, seed int64) sim.Time {
 }
 
 // Calibrate measures the observed network constants of a configuration,
-// fanning the nine independent calibration simulations across par workers.
-// The per-byte gaps are slopes between two transfer sizes, cancelling fixed
+// fanning the nine independent calibration simulations across par stealing
+// workers. par handling matches Options.Parallelism defaulting: par <= 0
+// means one worker per GOMAXPROCS. The probes are wildly uneven — the four
+// 16-node wordComm probes dominate the two-node bulk transfers — so each
+// carries a cost hint and the scheduler starts the heavy ones first. The
+// per-byte gaps are slopes between two transfer sizes, cancelling fixed
 // per-sync costs.
 func Calibrate(net machine.NetParams, seed int64, par int) MachineCalib {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	const w1, w2 = 20000, 60000
 	const s1, s2 = 5000, 15000
-	probes := []func() sim.Time{
-		func() sim.Time { return bulkComm(net, w1, false, seed) },
-		func() sim.Time { return bulkComm(net, w2, false, seed) },
-		func() sim.Time { return bulkComm(net, w1, true, seed) },
-		func() sim.Time { return bulkComm(net, w2, true, seed) },
-		func() sim.Time { return wordComm(net, s1, true, seed) },
-		func() sim.Time { return wordComm(net, s2, true, seed) },
-		func() sim.Time { return wordComm(net, s1, false, seed) },
-		func() sim.Time { return wordComm(net, s2, false, seed) },
-		func() sim.Time { return emptySyncCost(net, 16, seed) },
+	probes := []struct {
+		cost float64
+		fn   func() sim.Time
+	}{
+		{1, func() sim.Time { return bulkComm(net, w1, false, seed) }},
+		{3, func() sim.Time { return bulkComm(net, w2, false, seed) }},
+		{1, func() sim.Time { return bulkComm(net, w1, true, seed) }},
+		{3, func() sim.Time { return bulkComm(net, w2, true, seed) }},
+		{30, func() sim.Time { return wordComm(net, s1, true, seed) }},
+		{90, func() sim.Time { return wordComm(net, s2, true, seed) }},
+		{30, func() sim.Time { return wordComm(net, s1, false, seed) }},
+		{90, func() sim.Time { return wordComm(net, s2, false, seed) }},
+		{5, func() sim.Time { return emptySyncCost(net, 16, seed) }},
 	}
-	c := parMap(par, len(probes), func(i int) sim.Time { return probes[i]() })
+	c := parMapCost(par, len(probes),
+		func(i int) float64 { return probes[i].cost }, "calibrate",
+		func(i int) sim.Time { return probes[i].fn() })
 	slope := func(c1, c2 sim.Time, b1, b2 int) float64 {
 		return float64(c2-c1) / float64(8*(b2-b1))
 	}

@@ -116,6 +116,11 @@ type Result struct {
 	ID     string
 	Title  string
 	Tables []*report.Table
+	// Extra carries driver-specific named values into the BenchRecord the
+	// harness wraps around the run (see report.BenchRecord.Extra). Unlike
+	// Tables it may hold wall-clock measurements; drivers must keep
+	// anything nondeterministic out of Tables.
+	Extra map[string]float64
 }
 
 // String renders all tables.

@@ -9,7 +9,7 @@ import (
 
 func TestIDsComplete(t *testing.T) {
 	want := []string{"engine", "ext1", "ext2", "ext3", "ext4", "fig1", "fig2", "fig3",
-		"fig4", "fig5", "fig6", "fig7", "table2", "table3", "table4"}
+		"fig4", "fig5", "fig6", "fig7", "runner", "table2", "table3", "table4"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)

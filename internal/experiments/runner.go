@@ -8,30 +8,25 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // This file is the parallel experiment runner. Every driver expresses its
 // sweep as independent (sweep-point, run) simulation jobs and submits them
-// through parMap or sweepRuns; a pool of Options.Parallelism workers
-// executes them, each job building its own sim.Engine/qsmlib.Machine, and
-// the results land in an index-addressed slice. Because aggregation then
-// walks that slice in submission order, every averaging and table-building
-// step sees results in exactly the order the serial loop produced them —
-// the rendered tables are byte-identical at any parallelism level.
+// through parMap or sweepRuns; the jobs fan across Options.Parallelism
+// workers on the work-stealing scheduler (internal/sched), each job
+// building its own sim.Engine/qsmlib.Machine, and the results land in an
+// index-addressed slice. Because aggregation then walks that slice in
+// submission order, every averaging and table-building step sees results in
+// exactly the order the serial loop produced them — the rendered tables are
+// byte-identical at any parallelism level and under any steal interleaving.
 
 // workerPanic carries a worker's panic value together with the goroutine
 // stack captured at recover time, so a simulation failing under -parallel
-// reports where it died rather than just the panic message. It implements
-// error, so an unrecovered re-raise prints the original value followed by
-// the worker's stack.
-type workerPanic struct {
-	val   any
-	stack []byte
-}
-
-func (p *workerPanic) Error() string {
-	return fmt.Sprintf("%v\n\nworker stack:\n%s", p.val, p.stack)
-}
+// reports where it died rather than just the panic message. It is the
+// scheduler's panic envelope; the alias keeps the runner's historical name
+// for it.
+type workerPanic = sched.Panic
 
 // sweepCancelled is the sentinel panic the runner raises when
 // Options.Context is cancelled; Run converts it back into an error.
@@ -45,20 +40,38 @@ func cancelCause(r any) (error, bool) {
 	case *sweepCancelled:
 		return v.err, true
 	case *workerPanic:
-		if c, ok := v.val.(*sweepCancelled); ok {
+		if c, ok := v.Val.(*sweepCancelled); ok {
 			return c.err, true
 		}
 	}
 	return nil, false
 }
 
-// parMap runs fn for every index in [0, n) across a pool of par workers and
-// returns the results in index order. fn must be safe to call concurrently
-// and deterministic in its argument; simulator state must be local to the
-// call. A panic in any job is captured — together with the worker's stack —
-// and re-raised in the caller after all workers drain, so a failing
-// simulation reports the same way it does serially.
+// parMap runs fn for every index in [0, n) across a pool of par stealing
+// workers and returns the results in index order. fn must be safe to call
+// concurrently and deterministic in its argument; simulator state must be
+// local to the call. A panic in any job is captured — together with the
+// worker's stack — and re-raised in the caller after all workers drain, so
+// a failing simulation reports the same way it does serially.
 func parMap[T any](par, n int, fn func(i int) T) []T {
+	return parMapCost(par, n, nil, "", fn)
+}
+
+// parMapCost is parMap with a cost hint: when non-nil, cost seeds the
+// per-worker deques in descending estimated job cost so the biggest jobs
+// start first (LPT list scheduling) instead of being discovered at the tail
+// of a monotone sweep. name labels the pool in live introspection.
+func parMapCost[T any](par, n int, cost func(i int) float64, name string, fn func(i int) T) []T {
+	out := make([]T, n)
+	sched.Map(par, n, func(i int) { out[i] = fn(i) }, sched.Options{Cost: cost, Name: name})
+	return out
+}
+
+// fixedParMap is the pre-stealing fixed pool: par workers claiming jobs off
+// a single shared counter in submission order. It is retained only as the
+// baseline the `runner` bench driver measures the stealing scheduler
+// against — no driver fans over it.
+func fixedParMap[T any](par, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	if par > n {
 		par = n
@@ -80,7 +93,7 @@ func parMap[T any](par, n int, fn func(i int) T) []T {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, &workerPanic{val: r, stack: debug.Stack()})
+					panicked.CompareAndSwap(nil, &workerPanic{Val: r, Stack: debug.Stack()})
 				}
 			}()
 			for {
@@ -135,10 +148,17 @@ func (pt *progressTracker) jobDone(point int) {
 	})
 }
 
-// sweepRuns fans the full (point, run) grid of a sweep across the worker
+// sweepCost is the default cost hint for sweep fan-outs: sweeps enumerate
+// their points in ascending problem size, so a job's flat index is a
+// monotone proxy for its cost. Seeding by it starts the most expensive
+// (large-n) jobs first, which is exactly the skew that strands a fixed pool.
+func sweepCost(i int) float64 { return float64(i) }
+
+// sweepRuns fans the full (point, run) grid of a sweep across the stealing
 // pool and returns result[point][run]. This is the widest fan-out: with
 // points*runs jobs in one pool, a slow point cannot leave workers idle the
-// way per-point parallelism would.
+// way per-point parallelism would, and stealing rebalances whatever skew
+// the cost hint mispredicts.
 //
 // Each job receives its own obs.Recorder (nil when Options.Obs is nil),
 // reserved from the sink in flat (point, run) order before the fan-out so
@@ -146,7 +166,7 @@ func (pt *progressTracker) jobDone(point int) {
 func sweepRuns[T any](opt Options, points, runs int, fn func(point, run int, rec *obs.Recorder) T) [][]T {
 	base := opt.Obs.Reserve(points * runs)
 	pt := newProgressTracker(opt, points, runs)
-	flat := parMap(opt.parallelism(), points*runs, func(i int) T {
+	flat := parMapCost(opt.parallelism(), points*runs, sweepCost, "sweep", func(i int) T {
 		if err := opt.ctxErr(); err != nil {
 			panic(&sweepCancelled{err})
 		}
@@ -168,7 +188,7 @@ func sweepRuns[T any](opt Options, points, runs int, fn func(point, run int, rec
 func sweepPoints[T any](opt Options, points int, fn func(point int, rec *obs.Recorder) T) []T {
 	base := opt.Obs.Reserve(points)
 	pt := newProgressTracker(opt, points, 1)
-	return parMap(opt.parallelism(), points, func(i int) T {
+	return parMapCost(opt.parallelism(), points, sweepCost, "sweep", func(i int) T {
 		if err := opt.ctxErr(); err != nil {
 			panic(&sweepCancelled{err})
 		}

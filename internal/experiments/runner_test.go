@@ -83,13 +83,15 @@ func TestParallelismDefault(t *testing.T) {
 }
 
 // TestParallelDeterminism is the contract the runner is built around: for
-// every experiment, the serial path and an 8-worker pool must render
-// byte-identical tables at the same seed — and, with observability on,
-// byte-identical aggregated metrics too.
+// every experiment, the serial path and the work-stealing pool at any width
+// (par ∈ {1, 4, GOMAXPROCS, 8}) must render byte-identical tables at the
+// same seed — and, with observability on, byte-identical aggregated metrics
+// too, no matter how the steal interleaving falls out.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweeps in -short mode")
 	}
+	pars := []int{4, runtime.GOMAXPROCS(0), 8}
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
@@ -99,31 +101,34 @@ func TestParallelDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			parallelSink := obs.NewSink(obs.Config{Metrics: true})
-			parallel, err := Run(id, Options{Seed: 1, Runs: 2, Quick: true, Parallelism: 8, Obs: parallelSink})
-			if err != nil {
+			var serialMetrics bytes.Buffer
+			if err := serialSink.Merged().WriteMetricsJSON(&serialMetrics); err != nil {
 				t.Fatal(err)
 			}
-			a, b := serial.String(), parallel.String()
-			if a != b {
-				line := 0
-				la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
-				for line < len(la) && line < len(lb) && la[line] == lb[line] {
-					line++
+			for _, par := range pars {
+				parallelSink := obs.NewSink(obs.Config{Metrics: true})
+				parallel, err := Run(id, Options{Seed: 1, Runs: 2, Quick: true, Parallelism: par, Obs: parallelSink})
+				if err != nil {
+					t.Fatal(err)
 				}
-				t.Errorf("parallel output diverges from serial at line %d:\nserial:   %q\nparallel: %q",
-					line, at(la, line), at(lb, line))
-			}
-			var ma, mb bytes.Buffer
-			if err := serialSink.Merged().WriteMetricsJSON(&ma); err != nil {
-				t.Fatal(err)
-			}
-			if err := parallelSink.Merged().WriteMetricsJSON(&mb); err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(ma.Bytes(), mb.Bytes()) {
-				t.Errorf("aggregated metrics diverge between serial and parallel runs (%d vs %d bytes)",
-					ma.Len(), mb.Len())
+				a, b := serial.String(), parallel.String()
+				if a != b {
+					line := 0
+					la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+					for line < len(la) && line < len(lb) && la[line] == lb[line] {
+						line++
+					}
+					t.Errorf("par=%d output diverges from serial at line %d:\nserial:   %q\nparallel: %q",
+						par, line, at(la, line), at(lb, line))
+				}
+				var mb bytes.Buffer
+				if err := parallelSink.Merged().WriteMetricsJSON(&mb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(serialMetrics.Bytes(), mb.Bytes()) {
+					t.Errorf("aggregated metrics diverge between serial and par=%d runs (%d vs %d bytes)",
+						par, serialMetrics.Len(), mb.Len())
+				}
 			}
 		})
 	}

@@ -26,6 +26,13 @@ type BenchRecord struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	AllocBytes   uint64  `json:"alloc_bytes"`
 	Allocs       uint64  `json:"allocs"`
+
+	// Extra carries driver-specific named values (the runner driver's
+	// schedule-model makespans and measured pool timings). Keys prefixed
+	// "model_" are deterministic functions of the workload and are gated
+	// exactly by scripts/perfcheck.py; "measured_" keys are wall-clock
+	// observations recorded for the trajectory but not gated.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Finish derives the throughput rate from the raw counters.

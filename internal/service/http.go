@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -32,12 +33,24 @@ import (
 // request, and scopes the request's log lines.
 
 // SubmitRequest is the POST /v1/jobs body. Zero-valued fields take the
-// same defaults the CLI uses (seed 0, 5 runs, full sweeps).
+// same defaults the CLI uses (seed 0, 5 runs, full sweeps). Tenant,
+// priority, and deadline shape queuing only — they never enter the cache
+// key, so identical experiments submitted by different tenants share one
+// cached result (and coalesce into one simulation when queued together).
 type SubmitRequest struct {
 	Experiment string `json:"experiment"`
 	Seed       int64  `json:"seed"`
 	Runs       int    `json:"runs"`
 	Quick      bool   `json:"quick"`
+	// Tenant names the submitting tenant for fair queuing; empty shares
+	// the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders dequeue (higher first, with aging against
+	// starvation).
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS is the submission's latency budget in milliseconds; among
+	// equal aged priorities the earliest deadline dequeues first.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Key reduces the request to the deterministic options view jobs are keyed
@@ -142,7 +155,13 @@ func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	js, err := s.SubmitCtx(r.Context(), Request{Experiment: req.Experiment, Options: req.Key()})
+	js, err := s.SubmitCtx(r.Context(), Request{
+		Experiment: req.Experiment,
+		Options:    req.Key(),
+		Tenant:     req.Tenant,
+		Priority:   req.Priority,
+		Deadline:   time.Duration(req.DeadlineMS) * time.Millisecond,
+	})
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrUnknownExperiment):

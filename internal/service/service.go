@@ -37,6 +37,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/store"
 )
 
@@ -72,6 +73,11 @@ type Config struct {
 	// QueueCap bounds the submission queue; admission beyond it returns
 	// QueueFullError. <= 0 means 64.
 	QueueCap int
+	// AgingStep is the queue's starvation-protection quantum: a queued
+	// job's effective priority rises by one per AgingStep waited, so
+	// low-priority work eventually outranks a flood of fresh high-priority
+	// submissions. <= 0 means 5s.
+	AgingStep time.Duration
 	// Workers is the number of jobs simulated concurrently. <= 0 means 2.
 	Workers int
 	// SimParallelism is each job's Options.Parallelism (how many worker
@@ -130,6 +136,18 @@ type Request struct {
 	// carries it. Empty (or invalid) means the scheduler assigns one when
 	// tracing is enabled.
 	TraceID string
+	// Tenant optionally names the submitting tenant for fair queuing:
+	// dequeue ties break toward the tenant served least recently, so one
+	// tenant flooding the queue cannot monopolise the workers. Empty is a
+	// valid (shared) tenant.
+	Tenant string
+	// Priority orders dequeue: higher runs first, subject to aging (see
+	// Config.AgingStep). Zero is the default class.
+	Priority int
+	// Deadline, when positive, is the submission's latency budget; among
+	// equal aged priorities the earliest absolute deadline dequeues first,
+	// and deadlined work outranks open-ended work.
+	Deadline time.Duration
 }
 
 // JobProgress is a point-in-time view of a running sweep.
@@ -156,10 +174,16 @@ type JobStatus struct {
 	// on single-node deployments.
 	Node  string `json:"node,omitempty"`
 	State State  `json:"state"`
+	// Tenant and Priority echo the submission's queuing identity.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 	// Cached reports the job was served from the result store (at admission
 	// or by sharing another job's in-flight computation).
 	Cached   bool   `json:"cached"`
 	CacheKey string `json:"cache_key"`
+	// Coalesced reports the job was batch-admitted behind an identical
+	// queued submission and served from its leader's single simulation.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// ResultKey addresses the result under /v1/results/{key} once done.
 	ResultKey string `json:"result_key,omitempty"`
 	Error     string `json:"error,omitempty"`
@@ -180,6 +204,10 @@ type job struct {
 	cacheKey   string
 	traceID    string
 	node       string
+	tenant     string
+	priority   int
+	// deadline is the absolute EDF key (zero = no deadline).
+	deadline time.Time
 	// ctx carries the job's obs.TraceContext, so store I/O and compute done
 	// under it trace and log with the job's identity.
 	ctx    context.Context
@@ -194,6 +222,7 @@ type job struct {
 	mu        sync.Mutex
 	state     State
 	cached    bool
+	coalesced bool
 	errMsg    string
 	resultKey string
 	attempt   int
@@ -233,8 +262,11 @@ func (j *job) status() JobStatus {
 		Options:        j.opts,
 		TraceID:        j.traceID,
 		Node:           j.node,
+		Tenant:         j.tenant,
+		Priority:       j.priority,
 		State:          j.state,
 		Cached:         j.cached,
+		Coalesced:      j.coalesced,
 		CacheKey:       j.cacheKey,
 		ResultKey:      j.resultKey,
 		Error:          j.errMsg,
@@ -283,7 +315,7 @@ func (j *job) onProgress(p experiments.Progress) {
 // and memoizes results through the store.
 type Scheduler struct {
 	cfg        Config
-	queue      chan *job
+	queue      *admitQueue
 	started    time.Time
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
@@ -309,6 +341,8 @@ type Scheduler struct {
 		queueDepth *obs.Gauge
 		inflight   *obs.Gauge
 		latency    *obs.Histogram
+		coalesced  *obs.Counter
+		batches    *obs.Counter
 	}
 }
 
@@ -326,9 +360,12 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.Fingerprint == "" {
 		cfg.Fingerprint = store.Fingerprint()
 	}
+	if cfg.AgingStep <= 0 {
+		cfg.AgingStep = 5 * time.Second
+	}
 	s := &Scheduler{
 		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueCap),
+		queue:   newAdmitQueue(cfg.QueueCap, cfg.AgingStep),
 		started: time.Now(),
 		jobs:    map[string]*job{},
 		drainCh: make(chan struct{}),
@@ -345,6 +382,8 @@ func New(cfg Config) (*Scheduler, error) {
 	s.met.queueDepth = rec.Gauge("service", "queue_depth", "")
 	s.met.inflight = rec.Gauge("service", "inflight_jobs", "")
 	s.met.latency = rec.Histogram("service", "job_latency_seconds", "", obs.ExpBuckets(0.001, 4, 12))
+	s.met.coalesced = rec.Counter("service", "jobs_coalesced", "")
+	s.met.batches = rec.Counter("service", "coalesced_batches", "")
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -414,22 +453,21 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, req Request) (JobStatus, erro
 		return JobStatus{}, ErrDraining
 	}
 	j := s.registerLocked(req, key, traceID)
-	var full bool
-	select {
-	case s.queue <- j:
-	default:
+	full := !s.queue.push(j)
+	if full {
 		delete(s.jobs, j.id)
-		full = true
 	}
 	s.mu.Unlock()
 	if full {
 		j.cancel()
 		s.metric(func() { s.met.rejected.Inc() })
-		j.log.Warn("submission rejected: queue full", "experiment", req.Experiment, "capacity", cap(s.queue))
-		return JobStatus{}, &QueueFullError{Capacity: cap(s.queue)}
+		j.log.Warn("submission rejected: queue full", "experiment", req.Experiment, "capacity", s.queue.Cap())
+		return JobStatus{}, &QueueFullError{Capacity: s.queue.Cap()}
 	}
-	s.metric(func() { s.met.queueDepth.Set(int64(len(s.queue))) })
-	j.log.Info("job queued", "experiment", req.Experiment, "state", StateQueued, "queue_depth", len(s.queue))
+	depth := s.queue.Len()
+	s.metric(func() { s.met.queueDepth.Set(int64(depth)) })
+	j.log.Info("job queued", "experiment", req.Experiment, "state", StateQueued, "queue_depth", depth,
+		"tenant", j.tenant, "priority", j.priority)
 	s.notify(j)
 	return j.status(), nil
 }
@@ -481,8 +519,13 @@ func (s *Scheduler) registerLocked(req Request, key, traceID string) *job {
 		cacheKey:   key,
 		traceID:    traceID,
 		node:       s.cfg.NodeName,
+		tenant:     req.Tenant,
+		priority:   req.Priority,
 		state:      StateQueued,
 		created:    time.Now(),
+	}
+	if req.Deadline > 0 {
+		j.deadline = j.created.Add(req.Deadline)
 	}
 	j.log = s.logFor(traceID).With("job", j.id, "key", store.ShortKey(key))
 	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
@@ -537,23 +580,66 @@ func (s *Scheduler) Cancel(id string) bool {
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.metric(func() { s.met.queueDepth.Set(int64(len(s.queue))) })
-		s.runJob(j)
+	for {
+		batch, ok := s.queue.popBatch()
+		if !ok {
+			return
+		}
+		depth := s.queue.Len()
+		s.metric(func() { s.met.queueDepth.Set(int64(depth)) })
+		s.runBatch(batch)
+	}
+}
+
+// runBatch executes one dequeued batch: the leader runs the simulation, and
+// every coalesced follower (identical cache key, possibly other tenants) is
+// completed from the leader's result without touching a worker. If the
+// leader fails or is cancelled, followers are not tainted by it — each runs
+// its own attempt loop, exactly as if it had been dequeued alone.
+func (s *Scheduler) runBatch(batch []*job) {
+	leader, followers := batch[0], batch[1:]
+	if len(followers) > 0 {
+		s.metric(func() { s.met.batches.Inc() })
+		leader.log.Info("batch admission coalesced identical submissions",
+			"followers", len(followers), "experiment", leader.experiment)
+	}
+	resultKey, ok := s.runJob(leader)
+	for _, f := range followers {
+		f.queueSpan.End()
+		if err := f.ctx.Err(); err != nil {
+			f.fail(err)
+			s.metric(func() { s.met.failed.Inc() })
+			f.log.Warn("job cancelled before start", "error", err)
+			s.notify(f)
+			continue
+		}
+		if !ok {
+			// Leader failed; give the follower its own independent run.
+			s.runJob(f)
+			continue
+		}
+		f.mu.Lock()
+		f.coalesced = true
+		f.mu.Unlock()
+		f.finish(resultKey, true)
+		s.metric(func() { s.met.coalesced.Inc() })
+		f.log.Info("job served from coalesced batch", "leader", leader.id, "state", StateDone)
+		s.notify(f)
 	}
 }
 
 // runJob executes one job's attempt loop: each attempt runs under the
 // per-job timeout, and a failed attempt is retried while the job is not
-// cancelled and the retry budget lasts.
-func (s *Scheduler) runJob(j *job) {
+// cancelled and the retry budget lasts. It returns the job's result key
+// and whether it completed, so batch followers can ride the outcome.
+func (s *Scheduler) runJob(j *job) (string, bool) {
 	j.queueSpan.End()
 	if err := j.ctx.Err(); err != nil {
 		j.fail(err)
 		s.metric(func() { s.met.failed.Inc() })
 		j.log.Warn("job cancelled before start", "error", err)
 		s.notify(j)
-		return
+		return "", false
 	}
 	s.metric(func() { s.met.inflight.Add(1) })
 	defer s.metric(func() { s.met.inflight.Add(-1) })
@@ -582,7 +668,7 @@ func (s *Scheduler) runJob(j *job) {
 			j.log.Info("job done", "attempt", attempt, "cached", hit, "state", StateDone,
 				"elapsed_seconds", time.Since(start).Seconds())
 			s.notify(j)
-			return
+			return entry.Key, true
 		}
 		sp.Annotate("outcome", "failed")
 		sp.Annotate("error", err.Error())
@@ -603,7 +689,7 @@ func (s *Scheduler) runJob(j *job) {
 		j.log.Error("job failed", "attempt", attempt, "state", StateFailed, "error", err,
 			"elapsed_seconds", time.Since(start).Seconds())
 		s.notify(j)
-		return
+		return "", false
 	}
 }
 
@@ -694,6 +780,7 @@ func (s *Scheduler) compute(j *job, ctx context.Context) (e *store.Entry, err er
 		Quick:       j.opts.Quick,
 		Parallelism: s.simParallelism(),
 		WallSeconds: wall.Seconds(),
+		Extra:       res.Extra,
 	}
 	if sink != nil {
 		merged := sink.Merged()
@@ -723,10 +810,10 @@ func (s *Scheduler) simParallelism() int {
 }
 
 // WriteMetricsText dumps the scheduler's obs registry followed by the
-// store's self-metrics and (when armed) the fault injector's per-class fire
-// counters, all in Prometheus text format; /metricsz serves it. The
-// registries use disjoint subsystems, so the concatenation is a valid
-// exposition.
+// store's self-metrics, the work-stealing scheduler's process totals, and
+// (when armed) the fault injector's per-class fire counters, all in
+// Prometheus text format; /metricsz serves it. The registries use disjoint
+// subsystems, so the concatenation is a valid exposition.
 func (s *Scheduler) WriteMetricsText(w io.Writer) error {
 	s.met.Lock()
 	err := s.met.rec.WritePrometheusText(w)
@@ -735,6 +822,18 @@ func (s *Scheduler) WriteMetricsText(w io.Writer) error {
 		return err
 	}
 	if err := s.cfg.Store.WriteMetricsText(w); err != nil {
+		return err
+	}
+	// The steal/overflow/park totals live in process-global atomics (they
+	// must stay out of the deterministic per-sweep sinks, whose merged
+	// metrics are byte-identical at any parallelism); render them through a
+	// scrape-time recorder so the exposition format matches the rest.
+	t := sched.Totals()
+	srec := obs.New(obs.Config{Metrics: true})
+	srec.Counter("sched", "steals", "").Add(t.Steals)
+	srec.Counter("sched", "overflows", "").Add(t.Overflows)
+	srec.Counter("sched", "parks", "").Add(t.Parks)
+	if err := srec.WritePrometheusText(w); err != nil {
 		return err
 	}
 	if s.cfg.Faults != nil {
@@ -763,7 +862,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.queue.close()
 		close(s.drainCh)
 	}
 	s.mu.Unlock()

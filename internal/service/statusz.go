@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/store"
 )
 
@@ -21,6 +22,21 @@ import (
 type QueueStatus struct {
 	Depth    int `json:"depth"`
 	Capacity int `json:"capacity"`
+	// AgingStepSeconds is the starvation-protection quantum: +1 effective
+	// priority per step waited.
+	AgingStepSeconds float64 `json:"aging_step_seconds,omitempty"`
+	// Tenants is the queued-job count per tenant (omitted when idle).
+	Tenants map[string]int `json:"tenants,omitempty"`
+}
+
+// SchedStatus reports the work-stealing simulation scheduler: process-wide
+// steal/overflow/park totals since start, plus a racy snapshot of every
+// pool currently inside a sweep with its per-worker deque depths.
+type SchedStatus struct {
+	Steals    uint64           `json:"steals"`
+	Overflows uint64           `json:"overflows"`
+	Parks     uint64           `json:"parks"`
+	Pools     []sched.PoolInfo `json:"pools,omitempty"`
 }
 
 // JobCounts breaks the job table down by lifecycle state.
@@ -41,6 +57,10 @@ type SchedulerCounters struct {
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
 	Inflight    int64  `json:"inflight"`
+	// Coalesced counts jobs served from a batch leader's simulation;
+	// CoalescedBatches counts the multi-job batches themselves.
+	Coalesced        uint64 `json:"coalesced"`
+	CoalescedBatches uint64 `json:"coalesced_batches"`
 }
 
 // FaultStatus reports the fault injector's armed state and per-class fire
@@ -64,6 +84,7 @@ type Status struct {
 	Queue         QueueStatus       `json:"queue"`
 	Jobs          JobCounts         `json:"jobs"`
 	Scheduler     SchedulerCounters `json:"scheduler"`
+	Sched         SchedStatus       `json:"sched"`
 	Store         store.Stats       `json:"store"`
 	Faults        FaultStatus       `json:"faults"`
 }
@@ -78,8 +99,20 @@ func (s *Scheduler) Status() Status {
 		Goroutines:    runtime.NumGoroutine(),
 		WallSpans:     s.cfg.Tracer.Spans(),
 		WallDropped:   s.cfg.Tracer.Dropped(),
-		Queue:         QueueStatus{Depth: len(s.queue), Capacity: cap(s.queue)},
-		Store:         s.cfg.Store.Stats(),
+		Queue: QueueStatus{
+			Depth:            s.queue.Len(),
+			Capacity:         s.queue.Cap(),
+			AgingStepSeconds: s.cfg.AgingStep.Seconds(),
+			Tenants:          s.queue.TenantDepths(),
+		},
+		Store: s.cfg.Store.Stats(),
+	}
+	t := sched.Totals()
+	st.Sched = SchedStatus{
+		Steals:    t.Steals,
+		Overflows: t.Overflows,
+		Parks:     t.Parks,
+		Pools:     sched.LivePools(),
 	}
 
 	s.mu.Lock()
@@ -108,13 +141,15 @@ func (s *Scheduler) Status() Status {
 
 	s.met.Lock()
 	st.Scheduler = SchedulerCounters{
-		Submitted:   s.met.submitted.Value(),
-		Rejected:    s.met.rejected.Value(),
-		Failed:      s.met.failed.Value(),
-		Retried:     s.met.retried.Value(),
-		CacheHits:   s.met.hits.Value(),
-		CacheMisses: s.met.misses.Value(),
-		Inflight:    s.met.inflight.Value(),
+		Submitted:        s.met.submitted.Value(),
+		Rejected:         s.met.rejected.Value(),
+		Failed:           s.met.failed.Value(),
+		Retried:          s.met.retried.Value(),
+		CacheHits:        s.met.hits.Value(),
+		CacheMisses:      s.met.misses.Value(),
+		Inflight:         s.met.inflight.Value(),
+		Coalesced:        s.met.coalesced.Value(),
+		CoalescedBatches: s.met.batches.Value(),
 	}
 	s.met.Unlock()
 

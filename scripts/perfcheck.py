@@ -15,6 +15,15 @@ The tolerance is generous (default 25%) because the baseline is refreshed on
 a developer machine while the gate runs on CI hardware; regenerate the
 baselines (see EXPERIMENTS.md) whenever an intentional engine change moves
 throughput.
+
+Records may carry an "extra" map of named values. Keys starting with
+"model_" are machine-independent (deterministic schedule-model outputs of
+the runner driver) and are gated exactly: a fresh value must match the
+baseline to 6 significant digits, and every key starting "model_speedup"
+must also clear --min-speedup (default 1.3) — the committed proof that the
+work-stealing scheduler beats the fixed pool on skewed shapes. Keys
+starting "measured_" are wall-clock observations and are reported but
+never gated.
 """
 
 import argparse
@@ -35,6 +44,8 @@ def main():
     ap.add_argument("--baseline", required=True, help="directory of committed BENCH_<id>.json files")
     ap.add_argument("--fresh", required=True, help="directory of freshly produced BENCH_<id>.json files")
     ap.add_argument("--tolerance", type=float, default=0.25, help="allowed fractional slowdown vs baseline")
+    ap.add_argument("--min-speedup", type=float, default=1.3,
+                    help="floor for extra keys starting 'model_speedup'")
     ap.add_argument("ids", nargs="+")
     args = ap.parse_args()
 
@@ -55,7 +66,34 @@ def main():
             failed = True
         else:
             print(f"ok   {line}")
+        failed |= check_extra(eid, base.get("extra") or {}, fresh.get("extra") or {},
+                              args.min_speedup)
     return 1 if failed else 0
+
+
+def check_extra(eid, base, fresh, min_speedup):
+    """Gate the model_* extra values; report the measured_* ones."""
+    failed = False
+    for key in sorted(set(base) | set(fresh)):
+        bv, fv = base.get(key), fresh.get(key)
+        if key.startswith("model_"):
+            if bv is None or fv is None:
+                print(f"FAIL {eid}.{key}: present only in "
+                      f"{'fresh' if bv is None else 'baseline'} record")
+                failed = True
+                continue
+            if f"{bv:.6g}" != f"{fv:.6g}":
+                print(f"FAIL {eid}.{key}: baseline {bv:.6g} -> fresh {fv:.6g}: "
+                      "deterministic model value drifted; fix or regenerate baselines")
+                failed = True
+            elif key.startswith("model_speedup") and fv < min_speedup:
+                print(f"FAIL {eid}.{key}: {fv:.3f} below required speedup {min_speedup}")
+                failed = True
+            else:
+                print(f"ok   {eid}.{key}: {fv:.4g}")
+        elif key.startswith("measured_") and fv is not None:
+            print(f"info {eid}.{key}: {fv:.4g} (not gated)")
+    return failed
 
 
 if __name__ == "__main__":
