@@ -11,6 +11,8 @@
 //	     [-workers 2] [-parallel 0] [-lru 128] [-drain 60s]
 //	     [-job-timeout 0] [-retries 0] [-faults spec] [-fault-seed 1]
 //	     [-log-level info] [-trace] [-trace-spans N]
+//	     [-tenants spec | -tenants-file path]
+//	     [-stream-buffer 64] [-stream-heartbeat 15s]
 //	     [-self URL -peers URL,URL,... [-replicas 2] [-vnodes 64]
 //	      [-ring-seed 1] [-node-name NAME]]
 //
@@ -19,8 +21,25 @@
 // deterministic fault injector for chaos drills: a comma-separated list of
 // class:every:max[:delay] rules (or "all:every:max") over the classes
 // store_read, store_write, corrupt_entry, worker_panic, slow_job,
-// http_error, http_drop, peer_down, peer_slow; -fault-seed picks the
-// schedule. The same seed and spec replay the same fault schedule.
+// http_error, http_drop, peer_down, peer_slow, stream_drop, stream_stall;
+// -fault-seed picks the schedule. The same seed and spec replay the same
+// fault schedule.
+//
+// Multi-tenant mode (-tenants "name:key[:maxactive[:maxqueued]],..." or
+// -tenants-file with a JSON array of {"name","key","max_active",
+// "max_queued"}) authenticates every submission by API key (X-Qsm-Api-Key
+// or an Authorization bearer token) and enforces per-tenant concurrency
+// and queue-depth quotas; rejections are 429 with Retry-After. Without
+// either flag the server is anonymous and behaves exactly as before.
+// Per-tenant usage appears on /statusz, /metricsz, and /v1/admin/state.
+//
+// Streaming: GET /v1/jobs/{id}/events pushes a job's lifecycle and
+// progress events over SSE (NDJSON with "Accept: application/x-ndjson"),
+// resumable via Last-Event-ID; POST /v1/jobs:batch submits many jobs whose
+// merged events stream at GET /v1/batches/{id}/events. -stream-buffer
+// sizes each subscriber's in-flight buffer (a slow consumer overflows it
+// and sees a dropped marker instead of ever blocking the scheduler);
+// -stream-heartbeat paces idle-connection keepalives.
 //
 // Cluster mode (-self + -peers, see internal/cluster) shards the result
 // space across nodes with a consistent-hash ring: submissions and result
@@ -41,17 +60,21 @@
 //
 // API:
 //
-//	POST   /v1/jobs            {"experiment":"fig7","seed":1,"runs":2,"quick":true}
-//	GET    /v1/jobs            list jobs
-//	GET    /v1/jobs/{id}       job status (queued → running → done/failed)
-//	GET    /v1/jobs/{id}/trace merged wall + sim Perfetto trace (with -trace)
-//	DELETE /v1/jobs/{id}       cancel a job
-//	GET    /v1/results/{key}   cached result (tables + bench + metrics JSON)
-//	PUT    /v1/results/{key}   accept a replicated entry (cluster mode)
-//	GET    /healthz            liveness and drain state
-//	GET    /metricsz           metrics registry as Prometheus text
-//	GET    /statusz            live introspection snapshot (JSON)
-//	GET    /debug/pprof/       runtime profiling (CPU, heap, goroutines, ...)
+//	POST   /v1/jobs              {"experiment":"fig7","seed":1,"runs":2,"quick":true}
+//	POST   /v1/jobs:batch        {"jobs":[...]} with per-item outcomes
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status (queued → running → done/failed)
+//	GET    /v1/jobs/{id}/events  SSE/NDJSON event stream (Last-Event-ID resume)
+//	GET    /v1/jobs/{id}/trace   merged wall + sim Perfetto trace (with -trace)
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/batches/{id}/events  batch aggregate event stream
+//	GET    /v1/results/{key}     cached result (tables + bench + metrics JSON)
+//	PUT    /v1/results/{key}     accept a replicated entry (cluster mode)
+//	GET    /v1/admin/state       scheduler/queue/subscriber introspection
+//	GET    /healthz              liveness and drain state
+//	GET    /metricsz             metrics registry as Prometheus text
+//	GET    /statusz              live introspection snapshot (JSON)
+//	GET    /debug/pprof/         runtime profiling (CPU, heap, goroutines, ...)
 //
 // /debug/pprof and /statusz sit outside the fault-injection middleware so
 // the server stays debuggable mid-chaos-drill.
@@ -100,6 +123,10 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		traceOn    = flag.Bool("trace", false, "record wall-clock spans for every serving layer (export at /v1/jobs/{id}/trace)")
 		traceSpans = flag.Int("trace-spans", 0, "wall-span buffer bound (0 = default)")
+		tenantSpec = flag.String("tenants", "", "API tenants, name:key[:maxactive[:maxqueued]],... (enables keyed multi-tenant mode)")
+		tenantFile = flag.String("tenants-file", "", "JSON file with an array of tenant configs (alternative to -tenants)")
+		streamBuf  = flag.Int("stream-buffer", 0, "per-subscriber stream event buffer (0 = default 64)")
+		streamHB   = flag.Duration("stream-heartbeat", 0, "idle stream heartbeat period (0 = default 15s)")
 		self       = flag.String("self", "", "this node's advertised base URL (enables cluster mode with -peers)")
 		peersFlag  = flag.String("peers", "", "comma-separated peer base URLs (cluster mode)")
 		replicas   = flag.Int("replicas", 2, "cluster copies of each result, owner included (1 disables replication)")
@@ -129,6 +156,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tenants []service.TenantConfig
+	switch {
+	case *tenantSpec != "" && *tenantFile != "":
+		fatal(errors.New("-tenants and -tenants-file are mutually exclusive"))
+	case *tenantSpec != "":
+		if tenants, err = service.ParseTenants(*tenantSpec); err != nil {
+			fatal(err)
+		}
+	case *tenantFile != "":
+		if tenants, err = service.LoadTenantsFile(*tenantFile); err != nil {
+			fatal(err)
+		}
+	}
+	if len(tenants) > 0 {
+		logger.Info("multi-tenant mode", "tenants", len(tenants))
+	}
 	peers := splitPeers(*peersFlag)
 	clustered := *self != "" || len(peers) > 0
 	if clustered && (*self == "" || len(peers) == 0) {
@@ -147,19 +190,22 @@ func main() {
 	// exist first, but the hook only fires once jobs run.
 	var nodePtr atomic.Pointer[cluster.Node]
 	sched, err := service.New(service.Config{
-		Store:          st,
-		QueueCap:       *queueCap,
-		AgingStep:      *aging,
-		Workers:        *workers,
-		SimParallelism: *parallel,
-		NodeName:       name,
-		CollectMetrics: true,
-		CollectTrace:   *traceOn,
-		JobTimeout:     *jobTimeout,
-		JobRetries:     *retries,
-		Faults:         inj,
-		Log:            logger,
-		Tracer:         tracer,
+		Store:           st,
+		QueueCap:        *queueCap,
+		AgingStep:       *aging,
+		Workers:         *workers,
+		SimParallelism:  *parallel,
+		NodeName:        name,
+		CollectMetrics:  true,
+		CollectTrace:    *traceOn,
+		JobTimeout:      *jobTimeout,
+		JobRetries:      *retries,
+		Tenants:         tenants,
+		StreamBuffer:    *streamBuf,
+		StreamHeartbeat: *streamHB,
+		Faults:          inj,
+		Log:             logger,
+		Tracer:          tracer,
 		StateHook: func(js service.JobStatus) {
 			if nd := nodePtr.Load(); nd != nil {
 				nd.JobStateHook(js)

@@ -23,6 +23,12 @@
 // load; arrivals beyond -max-inflight are counted as errors instead of
 // queueing without bound.
 //
+// -stream switches completion-waiting from polling to the push API: each
+// submitted job is watched over its SSE event stream (resuming with
+// Last-Event-ID across drops), and the report grows a "stream" section
+// with time-to-first-event and inter-event-gap percentiles plus drop and
+// reconnect counts — the push-side latency picture polling cannot see.
+//
 // The report (stdout, or LOAD_<name>.json under -out) is a
 // report.LoadRecord: p50/p90/p99/p999 latency, requests per second, cache
 // hit ratio, jobs per executing node, and each target's forwarded vs local
@@ -67,6 +73,7 @@ func main() {
 		out         = flag.String("out", "", "write LOAD_<name>.json under this directory (or to this file if it ends in .json); default stdout")
 		name        = flag.String("name", "qsmload", "report name used in the LOAD_<name>.json file name")
 		pollEvery   = flag.Duration("poll", 20*time.Millisecond, "job status poll interval")
+		stream      = flag.Bool("stream", false, "watch jobs over SSE event streams instead of polling; adds TTFE and event-gap stats")
 	)
 	flag.Parse()
 
@@ -91,6 +98,7 @@ func main() {
 		priority:   *priority,
 		deadlineMS: *deadlineMS,
 		pollEvery:  *pollEvery,
+		stream:     *stream,
 		perNode:    map[string]uint64{},
 	}
 	for _, u := range urls {
@@ -133,6 +141,16 @@ func main() {
 		rec.RatePerSec = 0
 	}
 	rec.Finish(g.latencies)
+	if *stream {
+		rec.Stream = &report.StreamLoadStats{
+			Watched:    g.watched.Load(),
+			Events:     g.streamEvents.Load(),
+			Drops:      g.streamDrops.Load(),
+			Reconnects: g.streamReconnects.Load(),
+			TTFE:       report.SummarizeLatency(g.ttfe),
+			EventGap:   report.SummarizeLatency(g.gaps),
+		}
+	}
 
 	if *out == "" {
 		enc := json.NewEncoder(os.Stdout)
@@ -176,14 +194,22 @@ type generator struct {
 	priority   int
 	deadlineMS int64
 	pollEvery  time.Duration
+	stream     bool
 
 	requests  atomic.Uint64
 	errors    atomic.Uint64
 	cacheHits atomic.Uint64
 	next      atomic.Uint64 // round-robin target cursor
 
+	watched          atomic.Uint64 // jobs observed via an event stream
+	streamEvents     atomic.Uint64
+	streamDrops      atomic.Uint64
+	streamReconnects atomic.Uint64
+
 	mu        sync.Mutex
 	latencies []float64         // milliseconds
+	ttfe      []float64         // submit → first stream event, ms
+	gaps      []float64         // between consecutive stream events, ms
 	perNode   map[string]uint64 // executing node → jobs
 }
 
@@ -210,7 +236,11 @@ func (g *generator) one(ctx context.Context, key int64) {
 	start := time.Now()
 	js, err := c.Submit(ctx, req)
 	if err == nil && js.State != service.StateDone && js.State != service.StateFailed {
-		js, err = c.Wait(ctx, js.ID, g.pollEvery, nil)
+		if g.stream {
+			js, err = g.watch(ctx, c, js.ID, start)
+		} else {
+			js, err = c.Wait(ctx, js.ID, g.pollEvery, nil)
+		}
 	}
 	g.requests.Add(1)
 	if err != nil || js.State != service.StateDone {
@@ -229,6 +259,28 @@ func (g *generator) one(ctx context.Context, key int64) {
 	g.latencies = append(g.latencies, elapsed)
 	g.perNode[node]++
 	g.mu.Unlock()
+}
+
+// watch follows one job's event stream to the terminal state, timing the
+// first event against the submit and the gaps between consecutive events.
+func (g *generator) watch(ctx context.Context, c *service.Client, id string, start time.Time) (service.JobStatus, error) {
+	g.watched.Add(1)
+	var prev time.Time
+	res, err := c.WatchJobDetail(ctx, id, 0, func(ev service.StreamEvent) {
+		now := time.Now()
+		g.mu.Lock()
+		if prev.IsZero() {
+			g.ttfe = append(g.ttfe, float64(now.Sub(start).Microseconds())/1000)
+		} else {
+			g.gaps = append(g.gaps, float64(now.Sub(prev).Microseconds())/1000)
+		}
+		g.mu.Unlock()
+		prev = now
+	})
+	g.streamEvents.Add(uint64(res.Events))
+	g.streamDrops.Add(uint64(res.Drops))
+	g.streamReconnects.Add(uint64(res.Reconnects))
+	return res.Status, err
 }
 
 // runClosed runs n synchronous clients until the context expires. In-flight

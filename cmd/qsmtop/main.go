@@ -118,6 +118,8 @@ func render(w io.Writer, client *http.Client, base string, metricsN int) error {
 	} else {
 		fmt.Fprintf(w, "faults  unarmed\n")
 	}
+	renderStreams(w, st.Streams)
+	renderTenants(w, st.Tenants)
 	if cs := payload.Cluster; cs != nil {
 		renderCluster(w, cs)
 	}
@@ -151,6 +153,41 @@ func renderSched(w io.Writer, ss service.SchedStatus) {
 		fmt.Fprintf(w, "  pool %-12s workers %d   jobs %d/%d claimed   steals %d   depths [%s]\n",
 			p.Name, p.Workers, p.Claimed, p.Jobs, p.Steals, strings.Join(depths, " "))
 	}
+}
+
+// renderStreams writes the push-API line: live subscribers and the fan-out
+// counters (a growing dropped count flags slow consumers).
+func renderStreams(w io.Writer, ss service.StreamStatus) {
+	fmt.Fprintf(w, "streams %d subscribers   opened %d   published %d   dropped %d\n",
+		ss.Subscribers, ss.Opened, ss.Published, ss.Dropped)
+}
+
+// renderTenants writes the quota pane, one row per configured tenant;
+// anonymous servers (no tenants) skip it.
+func renderTenants(w io.Writer, tenants map[string]service.TenantStatus) {
+	if len(tenants) == 0 {
+		return
+	}
+	names := make([]string, 0, len(tenants))
+	for t := range tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "tenants %d configured\n", len(names))
+	for _, name := range names {
+		t := tenants[name]
+		fmt.Fprintf(w, "  %-16s active %s   queued %s   submitted %d   rejected %d\n",
+			name, fmtQuota(t.Active, t.MaxActive), fmtQuota(t.Queued, t.MaxQueued),
+			t.Submitted, t.Rejected)
+	}
+}
+
+// fmtQuota renders "used/limit", with "-" for unlimited.
+func fmtQuota(used, limit int) string {
+	if limit <= 0 {
+		return fmt.Sprintf("%d/-", used)
+	}
+	return fmt.Sprintf("%d/%d", used, limit)
 }
 
 // fmtTenants renders per-tenant queue depths as a suffix for the queue line.

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -75,6 +76,12 @@ type Node struct {
 
 	mu      sync.Mutex
 	fwdJobs map[string]string // job ID → peer URL this node forwarded the submit to
+	// fwdBodies remembers forwarded submit bodies so a stream whose owner
+	// dies mid-flight can be recomputed locally.
+	fwdBodies map[string][]byte
+	// aliases maps a dead owner's job ID to the local job that replaced it
+	// after a stream failover.
+	aliases map[string]string
 
 	met struct {
 		sync.Mutex
@@ -111,12 +118,14 @@ func New(cfg Config) (*Node, error) {
 		cfg.Replicas = len(ring.Members())
 	}
 	n := &Node{
-		cfg:     cfg,
-		ring:    ring,
-		peers:   make(map[string]*peer, len(cfg.Peers)),
-		local:   cfg.Sched.Handler(),
-		stop:    make(chan struct{}),
-		fwdJobs: map[string]string{},
+		cfg:       cfg,
+		ring:      ring,
+		peers:     make(map[string]*peer, len(cfg.Peers)),
+		local:     cfg.Sched.Handler(),
+		stop:      make(chan struct{}),
+		fwdJobs:   map[string]string{},
+		fwdBodies: map[string][]byte{},
+		aliases:   map[string]string{},
 	}
 	for _, u := range cfg.Peers {
 		if u == cfg.Self {
@@ -222,6 +231,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", n.handleJobRouted)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", n.handleJobRouted)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", n.handleJobRouted)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", n.handleJobEvents)
 	mux.HandleFunc("GET /v1/results/{key}", n.handleResult)
 	mux.HandleFunc("PUT /v1/results/{key}", n.handleReplicate)
 	mux.HandleFunc("GET /metricsz", n.handleMetricsz)
@@ -360,6 +370,7 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			var js service.JobStatus
 			if json.Unmarshal(data, &js) == nil {
 				n.rememberForward(js.ID, o)
+				n.rememberBody(js.ID, body)
 			}
 			return
 		}
@@ -401,12 +412,59 @@ func (n *Node) forwardedTo(id string) (string, bool) {
 	return u, ok
 }
 
+// rememberBody keeps a forwarded submit body for stream failover.
+func (n *Node) rememberBody(id string, body []byte) {
+	if id == "" || body == nil {
+		return
+	}
+	n.mu.Lock()
+	n.fwdBodies[id] = body
+	n.mu.Unlock()
+}
+
+// forwardedBody returns the submit body a forwarded job ID was created
+// with, if remembered.
+func (n *Node) forwardedBody(id string) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b, ok := n.fwdBodies[id]
+	return b, ok
+}
+
+// aliasJob records that remote job id was recomputed locally as localID.
+func (n *Node) aliasJob(id, localID string) {
+	n.mu.Lock()
+	n.aliases[id] = localID
+	n.mu.Unlock()
+}
+
+// aliasOf resolves a failover alias.
+func (n *Node) aliasOf(id string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	localID, ok := n.aliases[id]
+	return localID, ok
+}
+
+// redirectLocal serves the request locally with the aliased job ID spliced
+// into the path.
+func (n *Node) redirectLocal(w http.ResponseWriter, r *http.Request, oldID, newID string) {
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/v1/jobs/" + newID + strings.TrimPrefix(r2.URL.Path, "/v1/jobs/"+oldID)
+	r2.URL.RawPath = ""
+	n.local.ServeHTTP(w, r2)
+}
+
 // handleJobRouted serves job GET/DELETE/trace requests: locally when the
 // job is this node's, else by proxying to the peer the submit was
 // forwarded to, else by scanning live peers (job IDs are per-node, so a
 // poll can land anywhere in the cluster).
 func (n *Node) handleJobRouted(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if localID, ok := n.aliasOf(id); ok {
+		n.redirectLocal(w, r, id, localID)
+		return
+	}
 	if _, ok := n.cfg.Sched.Job(id); ok || r.Header.Get(ForwardedHeader) != "" {
 		n.serveLocal(w, r, nil)
 		return

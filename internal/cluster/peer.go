@@ -26,8 +26,10 @@ import (
 // ForwardedHeader marks a request already forwarded once by a cluster node.
 // A receiving node serves it locally, whatever the ring says, so forwarding
 // can never loop and a replica can serve a submit when the primary routed
-// it there.
-const ForwardedHeader = "X-Qsm-Forwarded"
+// it there. The constant lives in the service package (its keyed-tenant
+// auth admits forwarded requests as pre-authenticated); this alias keeps
+// the cluster-side name.
+const ForwardedHeader = service.ForwardedHeader
 
 // DefaultHealthInterval is the background health-probe period.
 const DefaultHealthInterval = 2 * time.Second

@@ -1,0 +1,201 @@
+package cluster_test
+
+// Cluster streaming tests: job event streams follow the same owner routing
+// as polls — a stream requested anywhere in the ring is proxied to the
+// owner frame by frame — and a mid-stream owner death fails over to local
+// recomputation on the same response, so the watching client reaches the
+// same terminal state and byte-identical tables without ever reconnecting
+// to a different URL.
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+// disarmBlock clears cluster-block's channels so a direct experiments.Run
+// computes immediately (for fault-free baselines).
+func disarmBlock() {
+	clusterBlockMu.Lock()
+	clusterStarted, clusterRelease = nil, nil
+	clusterBlockMu.Unlock()
+}
+
+// streamStates extracts the state transitions a watch observed.
+func streamStates(events []service.StreamEvent) []service.State {
+	var out []service.State
+	for _, ev := range events {
+		if ev.Type != service.EventState {
+			continue
+		}
+		var js service.JobStatus
+		if json.Unmarshal(ev.Data, &js) == nil {
+			out = append(out, js.State)
+		}
+	}
+	return out
+}
+
+// TestClusterStreamThroughNonOwner: a job submitted through a non-owner
+// node (forwarded to the owner) streams its events back through the
+// submitting node — and through a third node that never saw the submit,
+// which must locate the job across the ring. Both replays carry the same
+// terminal state, and the served tables match a fault-free local run.
+func TestClusterStreamThroughNonOwner(t *testing.T) {
+	disarmBlock()
+	nodes := newCluster(t, 3, 1, nil)
+	req := service.SubmitRequest{Experiment: "cluster-fast", Seed: 501, Runs: 1, Quick: true}
+	oi, _ := ownerOf(t, nodes, req)
+	front, third := nodes[(oi+1)%3], nodes[(oi+2)%3]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	js, err := front.client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js = waitDone(t, front, js.ID)
+	if js.Node != nodes[oi].name {
+		t.Fatalf("job ran on %s, want owner %s", js.Node, nodes[oi].name)
+	}
+
+	watch := func(tn *testNode) ([]service.StreamEvent, service.JobStatus) {
+		var events []service.StreamEvent
+		res, err := tn.client.WatchJobDetail(ctx, js.ID, 0, func(ev service.StreamEvent) {
+			events = append(events, ev)
+		})
+		if err != nil {
+			t.Fatalf("watch via %s: %v", tn.name, err)
+		}
+		return events, res.Status
+	}
+	frontEvents, frontStatus := watch(front)
+	thirdEvents, thirdStatus := watch(third)
+	if frontStatus.State != service.StateDone || thirdStatus.State != service.StateDone {
+		t.Fatalf("streamed terminal states = %s via %s, %s via %s; want done",
+			frontStatus.State, front.name, thirdStatus.State, third.name)
+	}
+	if len(frontEvents) != len(thirdEvents) {
+		t.Errorf("front replayed %d events, third %d; the proxied replays should agree",
+			len(frontEvents), len(thirdEvents))
+	}
+	states := streamStates(frontEvents)
+	if len(states) == 0 || states[len(states)-1] != service.StateDone {
+		t.Errorf("streamed states via %s = %v, want a sequence ending in done", front.name, states)
+	}
+
+	wantRes, err := experiments.Run(req.Experiment, experiments.Options{Seed: req.Seed, Runs: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := front.client.Result(ctx, frontStatus.ResultKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tables != wantRes.String() {
+		t.Errorf("streamed job's tables diverged from fault-free run\ncluster:\n%s\nlocal:\n%s", e.Tables, wantRes.String())
+	}
+}
+
+// TestClusterStreamOwnerFailoverMidStream: a client watches a forwarded
+// job's stream through the submitting node while the owner executes it —
+// then the owner dies. The proxying node must fail over on the same
+// response: replay the remembered submit body into its own scheduler,
+// alias the remote job ID, and keep streaming until the locally recomputed
+// job's terminal event. The client never reconnects and still lands on
+// done with byte-identical tables.
+func TestClusterStreamOwnerFailoverMidStream(t *testing.T) {
+	started, release := armBlock()
+	nodes := newCluster(t, 3, 1, nil)
+	req := service.SubmitRequest{Experiment: "cluster-block", Seed: 502, Runs: 1, Quick: true}
+	oi, _ := ownerOf(t, nodes, req)
+	front, victim := nodes[(oi+1)%3], nodes[oi]
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	js, err := front.client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the owner's worker is inside the experiment
+
+	// Watch through the front node; signal once the owner's running event
+	// has crossed both hops, so the kill below is provably mid-stream.
+	running := make(chan struct{})
+	type outcome struct {
+		res service.WatchResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var sawRunning bool
+		res, err := front.client.WatchJobDetail(ctx, js.ID, 0, func(ev service.StreamEvent) {
+			if ev.Type == service.EventState && !sawRunning {
+				var st service.JobStatus
+				if json.Unmarshal(ev.Data, &st) == nil && st.State == service.StateRunning {
+					sawRunning = true
+					close(running)
+				}
+			}
+		})
+		done <- outcome{res, err}
+	}()
+	select {
+	case <-running:
+	case <-time.After(30 * time.Second):
+		t.Fatal("never saw the owner's running event through the proxy")
+	}
+
+	// Owner dies mid-stream: severing its connections kills the in-flight
+	// proxy read. (srv.Close would block here — it waits for the live
+	// stream to finish, which is exactly what never happens when an owner
+	// dies.) The front node marks the peer down and recomputes locally —
+	// where cluster-block parks again until released.
+	victim.srv.CloseClientConnections()
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("failover never recomputed the job locally")
+	}
+	close(release)
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("watch across failover: %v", out.err)
+	}
+	if out.res.Status.State != service.StateDone {
+		t.Fatalf("post-failover terminal = %s (%s), want done", out.res.Status.State, out.res.Status.Error)
+	}
+	if out.res.Reconnects != 0 {
+		t.Errorf("client reconnected %d times; failover should continue the original response", out.res.Reconnects)
+	}
+
+	// The original (remote) job ID now aliases the local recompute: polls
+	// through the front node resolve it.
+	als, err := front.client.Job(ctx, js.ID)
+	if err != nil {
+		t.Fatalf("aliased poll: %v", err)
+	}
+	if als.State != service.StateDone {
+		t.Errorf("aliased job = %s, want done", als.State)
+	}
+
+	// Byte-identical tables: what the failover served equals a fault-free
+	// local run.
+	disarmBlock()
+	wantRes, err := experiments.Run(req.Experiment, experiments.Options{Seed: req.Seed, Runs: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := front.client.Result(ctx, out.res.Status.ResultKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tables != wantRes.String() {
+		t.Errorf("failover tables diverged from fault-free run\nfailover:\n%s\nlocal:\n%s", e.Tables, wantRes.String())
+	}
+}

@@ -62,6 +62,12 @@ const (
 	// PeerSlow stalls a cluster peer request by Rule.Delay before sending
 	// it, exercising slow-peer timeouts and health detection.
 	PeerSlow
+	// StreamDrop aborts an event-stream connection mid-stream (between two
+	// event writes), exercising client Last-Event-ID resume.
+	StreamDrop
+	// StreamStall stalls an event-stream write by Rule.Delay, exercising
+	// slow-consumer backpressure and heartbeat liveness.
+	StreamStall
 
 	numClasses
 )
@@ -76,6 +82,8 @@ var classNames = [numClasses]string{
 	HTTPDrop:     "http_drop",
 	PeerDown:     "peer_down",
 	PeerSlow:     "peer_slow",
+	StreamDrop:   "stream_drop",
+	StreamStall:  "stream_stall",
 }
 
 func (c Class) String() string {
@@ -107,8 +115,8 @@ type Rule struct {
 	// budgets are what let a retrying system converge, so chaos schedules
 	// should always set one.
 	Max int
-	// Delay is how long SlowJob and PeerSlow stall; zero means
-	// DefaultSlowDelay. Other classes ignore it.
+	// Delay is how long SlowJob, PeerSlow, and StreamStall stall; zero
+	// means DefaultSlowDelay. Other classes ignore it.
 	Delay time.Duration
 }
 
@@ -230,9 +238,9 @@ func (inj *Injector) SlowDelay() time.Duration {
 	return inj.Delay(SlowJob)
 }
 
-// Delay consults a stall-shaped class (SlowJob, PeerSlow) once and returns
-// the injected stall duration, or zero when the class does not fire. A rule
-// without a delay stalls DefaultSlowDelay.
+// Delay consults a stall-shaped class (SlowJob, PeerSlow, StreamStall) once
+// and returns the injected stall duration, or zero when the class does not
+// fire. A rule without a delay stalls DefaultSlowDelay.
 func (inj *Injector) Delay(c Class) time.Duration {
 	fired, _, _ := inj.fire(c)
 	if !fired {
@@ -279,9 +287,9 @@ func (inj *Injector) WriteMetricsText(w io.Writer) error {
 // ParseRules parses a compact schedule spec: comma-separated
 // "class:every:max[:delay]" clauses, where class is a Class name
 // (store_read, store_write, corrupt_entry, worker_panic, slow_job,
-// http_error, http_drop, peer_down, peer_slow) or "all" to apply one rule
-// to every class, and delay (slow_job and peer_slow) is a Go duration.
-// Example:
+// http_error, http_drop, peer_down, peer_slow, stream_drop, stream_stall)
+// or "all" to apply one rule to every class, and delay (slow_job,
+// peer_slow, and stream_stall) is a Go duration. Example:
 //
 //	store_read:3:2,slow_job:4:1:50ms,http_error:5:2
 func ParseRules(spec string) (map[Class]Rule, error) {

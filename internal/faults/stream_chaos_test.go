@@ -1,0 +1,136 @@
+package faults_test
+
+// Streaming chaos: the push-based API under seeded stream faults. Clients
+// watch every job over SSE while the injector kills connections mid-stream
+// (stream_drop) and stalls writes (stream_stall); the watch layer must
+// resume via Last-Event-ID until the terminal event, and every served table
+// must stay byte-identical to the fault-free baseline. The cluster variant
+// adds peer_down, so streams proxied through a non-owner node survive the
+// owner going away (mid-stream failover recomputes locally).
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/service"
+)
+
+// streamChaosRules arms the stream classes plus the worker classes that
+// make lifecycle streams interesting (retries publish extra running
+// states).
+func streamChaosRules() map[faults.Class]faults.Rule {
+	return map[faults.Class]faults.Rule{
+		faults.StreamDrop:  {Every: 3, Max: 4},
+		faults.StreamStall: {Every: 4, Max: 3, Delay: 5 * time.Millisecond},
+		faults.WorkerPanic: {Every: 4, Max: 1},
+		faults.SlowJob:     {Every: 3, Max: 2, Delay: 10 * time.Millisecond},
+	}
+}
+
+// watchChaosJob pushes one job through the stack and watches it over SSE to
+// its terminal state. With monotonic true it asserts the single-node resume
+// invariant: event IDs are strictly increasing across every reconnect
+// (Last-Event-ID replay neither duplicates nor skips retained events). The
+// cluster sweep passes false — a mid-stream owner failover recomputes
+// locally under a fresh job whose stream IDs legitimately restart at 1.
+func watchChaosJob(t *testing.T, ctx context.Context, client *service.Client, seed int64, monotonic bool) (service.WatchResult, string) {
+	t.Helper()
+	js, err := client.Submit(ctx, service.SubmitRequest{
+		Experiment: chaosExperiment, Seed: seed, Runs: 1, Quick: true,
+	})
+	if err != nil {
+		t.Fatalf("submit seed %d: %v", seed, err)
+	}
+	var lastID uint64
+	res, err := client.WatchJobDetail(ctx, js.ID, 0, func(ev service.StreamEvent) {
+		if ev.ID > 0 {
+			if monotonic && ev.ID <= lastID {
+				t.Errorf("seed %d: event ID %d after %d — resume replayed or reordered", seed, ev.ID, lastID)
+			}
+			lastID = ev.ID
+		}
+	})
+	if err != nil {
+		t.Fatalf("watch seed %d: %v", seed, err)
+	}
+	if res.Status.State != service.StateDone {
+		t.Fatalf("watched job seed %d = %s (%s), want done", seed, res.Status.State, res.Status.Error)
+	}
+	e, err := client.Result(ctx, res.Status.ResultKey)
+	if err != nil {
+		t.Fatalf("result seed %d: %v", seed, err)
+	}
+	return res, e.Tables
+}
+
+// TestStreamChaosResumesToFaultFreeTables is the single-node streaming
+// chaos sweep: every job is watched (not polled) to completion under
+// injected stream kills and stalls, and must land on the fault-free tables.
+// The armed schedules guarantee drops actually sever live streams, so the
+// reconnect path is provably exercised, not just available.
+func TestStreamChaosResumesToFaultFreeTables(t *testing.T) {
+	want := baseline(t)
+	for _, scheduleSeed := range []int64{77, 177} {
+		t.Run(fmt.Sprintf("schedule-%d", scheduleSeed), func(t *testing.T) {
+			inj := faults.New(faults.Config{Seed: scheduleSeed, Rules: streamChaosRules()})
+			stack := newChaosStack(t, t.TempDir(), scheduleSeed, inj)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+
+			reconnects := 0
+			for _, seed := range chaosJobs {
+				res, tables := watchChaosJob(t, ctx, stack.client, seed, true)
+				if tables != want[seed] {
+					t.Errorf("seed %d: tables diverged from fault-free run\nfaulted:\n%s\nfault-free:\n%s",
+						seed, tables, want[seed])
+				}
+				reconnects += res.Reconnects
+			}
+			if inj.Count(faults.StreamDrop) < 1 {
+				t.Errorf("stream_drop never fired under schedule %d (counts: %s)", scheduleSeed, chaosCounts(inj))
+			}
+			if inj.Count(faults.StreamStall) < 1 {
+				t.Errorf("stream_stall never fired under schedule %d (counts: %s)", scheduleSeed, chaosCounts(inj))
+			}
+			if reconnects < 1 {
+				t.Errorf("no watch ever reconnected under schedule %d — the drops severed nothing", scheduleSeed)
+			}
+		})
+	}
+}
+
+// TestClusterStreamChaos extends the sweep across node boundaries: jobs
+// enter and are watched through non-owner front nodes (streams proxied to
+// the owner over HTTP), with peer_down severing the proxy path on top of
+// the stream classes. A severed proxy fails over to local recomputation;
+// determinism makes the locally served events converge on the same terminal
+// tables.
+func TestClusterStreamChaos(t *testing.T) {
+	want := baseline(t)
+	scheduleSeed := int64(88)
+	rules := streamChaosRules()
+	rules[faults.PeerDown] = faults.Rule{Every: 6, Max: 2}
+	inj := faults.New(faults.Config{Seed: scheduleSeed, Rules: rules})
+	nodes := newChaosCluster(t, 3, scheduleSeed, inj)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	for i, seed := range chaosJobs {
+		front := nodes[i%3]
+		_, tables := watchChaosJob(t, ctx, front.client, seed, false)
+		if tables != want[seed] {
+			t.Errorf("seed %d via %s: tables diverged from fault-free run\nfaulted:\n%s\nfault-free:\n%s",
+				seed, front.name, tables, want[seed])
+		}
+		// Bring peers downed by injected faults back for the next job.
+		for _, cn := range nodes {
+			cn.node.CheckPeers(ctx)
+		}
+	}
+	if inj.Count(faults.StreamDrop) < 1 || inj.Count(faults.PeerDown) < 1 {
+		t.Errorf("stream_drop/peer_down never fired (counts: %s)", chaosCounts(inj))
+	}
+}

@@ -47,6 +47,31 @@ type LoadRecord struct {
 	// run, so the report shows how much traffic was forwarded vs served
 	// locally and how replication behaved.
 	NodeStats []NodeLoadStats `json:"node_stats,omitempty"`
+	// Stream carries push-side measurements when the run watched jobs over
+	// SSE (qsmload -stream) instead of polling.
+	Stream *StreamLoadStats `json:"stream,omitempty"`
+}
+
+// StreamLoadStats summarises a -stream run's push side: how promptly the
+// first event arrived after submit (TTFE) and how evenly events flowed
+// (gap between consecutive events on one watch), plus the transport-level
+// resume accounting.
+type StreamLoadStats struct {
+	// Watched counts jobs observed via an event stream (cache hits complete
+	// at submit and are never watched).
+	Watched uint64 `json:"watched"`
+	// Events counts data events received across all watches.
+	Events uint64 `json:"events"`
+	// Drops counts server-side drop markers observed (each resumed via
+	// Last-Event-ID).
+	Drops uint64 `json:"drops"`
+	// Reconnects counts stream re-establishments.
+	Reconnects uint64 `json:"reconnects"`
+	// TTFE is the submit-to-first-event latency distribution.
+	TTFE LatencySummary `json:"ttfe_ms"`
+	// EventGap is the distribution of gaps between consecutive events
+	// within one watch.
+	EventGap LatencySummary `json:"event_gap_ms"`
 }
 
 // LatencySummary is an end-to-end latency distribution in milliseconds.

@@ -14,23 +14,34 @@ import (
 
 // The HTTP API cmd/qsmd serves:
 //
-//	POST   /v1/jobs            submit {"experiment","seed","runs","quick"}
-//	GET    /v1/jobs            list job statuses
-//	GET    /v1/jobs/{id}       one job's status
-//	GET    /v1/jobs/{id}/trace merged wall-clock + sim-time Perfetto trace
-//	DELETE /v1/jobs/{id}       cancel a job
-//	GET    /v1/results/{key}   a cached result entry by content address
-//	GET    /healthz            liveness + drain state
-//	GET    /metricsz           obs registry as Prometheus text
-//	GET    /statusz            live introspection snapshot (JSON)
+//	POST   /v1/jobs             submit {"experiment","seed","runs","quick"}
+//	POST   /v1/jobs:batch       submit {"jobs":[...]} with per-item outcomes
+//	GET    /v1/jobs             list job statuses
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/events SSE (or NDJSON via Accept) event stream
+//	GET    /v1/jobs/{id}/trace  merged wall-clock + sim-time Perfetto trace
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/batches/{id}/events  a batch's aggregate event stream
+//	GET    /v1/results/{key}    a cached result entry by content address
+//	GET    /v1/admin/state      scheduler/queue/subscriber introspection
+//	GET    /healthz             liveness + drain state
+//	GET    /metricsz            obs registry as Prometheus text
+//	GET    /statusz             live introspection snapshot (JSON)
 //
 // Errors are {"error": "..."} with 400 (bad request/unknown experiment),
-// 404 (no such job/result), 429 (queue full), or 503 (draining).
+// 401 (keyed mode, missing/unknown API key), 404 (no such job/result),
+// 429 + Retry-After (queue full or tenant over quota), or 503 (draining).
 //
 // Every request runs under TraceMiddleware: the X-Qsm-Trace request header
 // (when a valid trace ID) or a freshly minted ID identifies the request, is
 // echoed in the response header, stamps an "http" wall-clock span per
 // request, and scopes the request's log lines.
+
+// ForwardedHeader marks a request already forwarded once by a cluster node
+// (internal/cluster aliases this constant). Forwarded submissions are
+// pre-authenticated by the entrance node, so keyed mode admits them without
+// re-presenting an API key.
+const ForwardedHeader = "X-Qsm-Forwarded"
 
 // SubmitRequest is the POST /v1/jobs body. Zero-valued fields take the
 // same defaults the CLI uses (seed 0, 5 runs, full sweeps). Tenant,
@@ -63,11 +74,15 @@ func (r SubmitRequest) Key() experiments.OptionsKey {
 func (s *Scheduler) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs:batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleGetResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleGetJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
+	mux.HandleFunc("GET /v1/admin/state", s.handleAdminState)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
@@ -92,6 +107,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.code = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so SSE streams flush through the
+// recorder (embedding only exposes the ResponseWriter method set).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // TraceMiddleware scopes each request to a trace: it adopts a valid
@@ -148,12 +171,21 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant, authErr := s.authTenant(r)
+	if authErr != nil {
+		writeError(w, http.StatusUnauthorized, authErr)
+		return
+	}
 	var req SubmitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if s.tenants.enabled() && tenant != "" {
+		// The API key, not the body, names the tenant in keyed mode.
+		req.Tenant = tenant
 	}
 	js, err := s.SubmitCtx(r.Context(), Request{
 		Experiment: req.Experiment,
@@ -171,6 +203,12 @@ func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	default:
+		var quota *QuotaError
+		if errors.As(err, &quota) {
+			w.Header().Set("Retry-After", retryAfterSeconds(quota.RetryAfter))
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		var full *QueueFullError
 		if errors.As(err, &full) {
 			w.Header().Set("Retry-After", "1")
@@ -247,6 +285,26 @@ func (s *Scheduler) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Scheduler) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// handleAdminState serves the operator's deep introspection view. In keyed
+// mode any configured tenant's API key opens it; anonymous mode leaves it
+// open like /statusz.
+func (s *Scheduler) handleAdminState(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.authTenant(r); err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.AdminState())
+}
+
+// retryAfterSeconds renders a backoff as whole Retry-After seconds (min 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func (s *Scheduler) handleGetJobTrace(w http.ResponseWriter, r *http.Request) {

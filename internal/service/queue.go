@@ -1,6 +1,7 @@
 package service
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -78,6 +79,53 @@ func (q *admitQueue) TenantDepths() map[string]int {
 		if len(tq.jobs) > 0 {
 			out[name] = len(tq.jobs)
 		}
+	}
+	return out
+}
+
+// TenantDepth returns one tenant's queued-job count; the quota path checks
+// it against MaxQueued at admission.
+func (q *admitQueue) TenantDepth(name string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if tq := q.tenants[name]; tq != nil {
+		return len(tq.jobs)
+	}
+	return 0
+}
+
+// QueuedJobInfo is one queued job's row in the admin state.
+type QueuedJobInfo struct {
+	ID         string `json:"id"`
+	Experiment string `json:"experiment"`
+	Tenant     string `json:"tenant,omitempty"`
+	Priority   int    `json:"priority"`
+	// EffectivePriority is the aged priority the next dequeue would use.
+	EffectivePriority int     `json:"effective_priority"`
+	WaitedSeconds     float64 `json:"waited_seconds"`
+}
+
+// snapshot lists every queued job in submission order, with aged
+// priorities as of now.
+func (q *admitQueue) snapshot() []QueuedJobInfo {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := time.Now()
+	var queued []*job
+	for _, tq := range q.tenants {
+		queued = append(queued, tq.jobs...)
+	}
+	sort.Slice(queued, func(a, b int) bool { return queued[a].seq < queued[b].seq })
+	out := make([]QueuedJobInfo, 0, len(queued))
+	for _, j := range queued {
+		out = append(out, QueuedJobInfo{
+			ID:                j.id,
+			Experiment:        j.experiment,
+			Tenant:            j.tenant,
+			Priority:          j.priority,
+			EffectivePriority: q.effPriority(j, now),
+			WaitedSeconds:     now.Sub(j.created).Seconds(),
+		})
 	}
 	return out
 }

@@ -112,6 +112,23 @@ type Config struct {
 	// the scheduler. Tests use it for channel-based synchronization instead
 	// of wall-clock polling.
 	StateHook func(JobStatus)
+	// Tenants switches the API into keyed multi-tenant mode: submissions
+	// must carry a configured tenant's API key, and each tenant's
+	// concurrent-job and queue-depth quotas are enforced at admission
+	// (QuotaError → HTTP 429 + Retry-After). Empty keeps today's anonymous
+	// behavior exactly.
+	Tenants []TenantConfig
+	// StreamBuffer bounds each event-stream subscriber's in-flight buffer;
+	// overflow drops events for that subscriber (surfaced as a dropped
+	// marker with a resume ID) instead of ever blocking a scheduler worker.
+	// <= 0 means 64.
+	StreamBuffer int
+	// StreamLogCap bounds each stream's retained event log, the window a
+	// Last-Event-ID reconnect can replay. <= 0 means 256.
+	StreamLogCap int
+	// StreamHeartbeat is the idle event-stream heartbeat period (SSE
+	// comment frames). <= 0 means 15s.
+	StreamHeartbeat time.Duration
 	// Log receives request-scoped structured log lines (submissions, state
 	// transitions, fault annotations), each stamped with the job's trace ID.
 	// Nil logs nothing.
@@ -218,8 +235,14 @@ type job struct {
 	// enqueued and ended by the dequeuing worker (ordered by the queue
 	// channel).
 	queueSpan *obs.WallSpan
+	// events is the job's replayable stream log behind
+	// GET /v1/jobs/{id}/events.
+	events *eventLog
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// quotaHeld marks the job as holding its tenant's concurrency slot,
+	// released exactly once on the first terminal notify.
+	quotaHeld bool
 	state     State
 	cached    bool
 	coalesced bool
@@ -309,6 +332,7 @@ func (j *job) onProgress(p experiments.Progress) {
 	j.progress.SweepPoints = p.Points
 	j.progress.SweepRuns = p.Runs
 	j.mu.Unlock()
+	j.publishProgress()
 }
 
 // Scheduler accepts experiment jobs, runs them on a bounded worker pool,
@@ -322,10 +346,15 @@ type Scheduler struct {
 	drainCh    chan struct{}
 	wg         sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	nextSeq  int
-	draining bool
+	streams *streamHub
+	tenants *tenantRegistry
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	nextSeq   int
+	batches   map[string]*batchStream
+	nextBatch int
+	draining  bool
 
 	// met guards the obs registry: obs recorders are single-goroutine by
 	// design, and here workers and scrape handlers share one.
@@ -363,11 +392,18 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.AgingStep <= 0 {
 		cfg.AgingStep = 5 * time.Second
 	}
+	tenants, err := newTenantRegistry(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
 	s := &Scheduler{
 		cfg:     cfg,
 		queue:   newAdmitQueue(cfg.QueueCap, cfg.AgingStep),
 		started: time.Now(),
 		jobs:    map[string]*job{},
+		batches: map[string]*batchStream{},
+		streams: newStreamHub(),
+		tenants: tenants,
 		drainCh: make(chan struct{}),
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
@@ -398,11 +434,31 @@ func (s *Scheduler) metric(f func()) {
 	s.met.Unlock()
 }
 
-// notify invokes the state hook with j's current status. Call sites hold no
-// scheduler locks.
+// notify fans out j's current status after a lifecycle transition: the
+// state hook, the job's event stream, and — exactly once, on the first
+// terminal transition — the tenant quota release. Call sites hold no
+// scheduler locks. Every path to a terminal state funnels through here
+// (done, failed, cancelled before start, coalesced, drained), which is what
+// makes the quota release and the stream close exhaustive.
 func (s *Scheduler) notify(j *job) {
+	st := j.status()
 	if s.cfg.StateHook != nil {
-		s.cfg.StateHook(j.status())
+		s.cfg.StateHook(st)
+	}
+	j.publishState(st)
+	if st.State == StateDone || st.State == StateFailed {
+		s.releaseQuota(j)
+	}
+}
+
+// releaseQuota returns j's tenant concurrency slot, exactly once.
+func (s *Scheduler) releaseQuota(j *job) {
+	j.mu.Lock()
+	held := j.quotaHeld
+	j.quotaHeld = false
+	j.mu.Unlock()
+	if held {
+		s.tenants.release(j.tenant)
 	}
 }
 
@@ -452,7 +508,21 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, req Request) (JobStatus, erro
 		s.logFor(traceID).Warn("submission rejected: draining", "experiment", req.Experiment)
 		return JobStatus{}, ErrDraining
 	}
+	// Tenant quota gates admission after the cache-hit check (a cached
+	// result costs nothing and never consumes quota) and before the job
+	// exists, so a rejection leaves no trace beyond the counters.
+	held, err := s.tenants.acquire(req.Tenant, s.queue.TenantDepth(req.Tenant))
+	if err != nil {
+		s.mu.Unlock()
+		s.metric(func() { s.met.rejected.Inc() })
+		s.logFor(traceID).Warn("submission rejected: tenant over quota",
+			"experiment", req.Experiment, "tenant", req.Tenant, "error", err)
+		return JobStatus{}, err
+	}
 	j := s.registerLocked(req, key, traceID)
+	j.mu.Lock()
+	j.quotaHeld = held
+	j.mu.Unlock()
 	full := !s.queue.push(j)
 	if full {
 		delete(s.jobs, j.id)
@@ -460,6 +530,7 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, req Request) (JobStatus, erro
 	s.mu.Unlock()
 	if full {
 		j.cancel()
+		s.releaseQuota(j)
 		s.metric(func() { s.met.rejected.Inc() })
 		j.log.Warn("submission rejected: queue full", "experiment", req.Experiment, "capacity", s.queue.Cap())
 		return JobStatus{}, &QueueFullError{Capacity: s.queue.Cap()}
@@ -528,6 +599,7 @@ func (s *Scheduler) registerLocked(req Request, key, traceID string) *job {
 		j.deadline = j.created.Add(req.Deadline)
 	}
 	j.log = s.logFor(traceID).With("job", j.id, "key", store.ShortKey(key))
+	j.events = newEventLog(id, s.cfg.StreamLogCap, s.streams)
 	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
 	// The job's context carries its trace identity so store I/O and compute
 	// under it annotate the right trace.
@@ -593,38 +665,46 @@ func (s *Scheduler) worker() {
 
 // runBatch executes one dequeued batch: the leader runs the simulation, and
 // every coalesced follower (identical cache key, possibly other tenants) is
-// completed from the leader's result without touching a worker. If the
-// leader fails or is cancelled, followers are not tainted by it — each runs
-// its own attempt loop, exactly as if it had been dequeued alone.
+// completed from the leader's result without touching a worker. A cancelled
+// or failed leader does not taint its followers: the next follower is
+// promoted to leader and runs its own attempt loop — one simulation still
+// serves everyone behind it — so cancelling a batch leader costs the
+// followers nothing but their place in line.
 func (s *Scheduler) runBatch(batch []*job) {
-	leader, followers := batch[0], batch[1:]
-	if len(followers) > 0 {
+	if len(batch) > 1 {
 		s.metric(func() { s.met.batches.Inc() })
-		leader.log.Info("batch admission coalesced identical submissions",
-			"followers", len(followers), "experiment", leader.experiment)
+		batch[0].log.Info("batch admission coalesced identical submissions",
+			"followers", len(batch)-1, "experiment", batch[0].experiment)
 	}
-	resultKey, ok := s.runJob(leader)
-	for _, f := range followers {
-		f.queueSpan.End()
-		if err := f.ctx.Err(); err != nil {
-			f.fail(err)
-			s.metric(func() { s.met.failed.Inc() })
-			f.log.Warn("job cancelled before start", "error", err)
-			s.notify(f)
-			continue
+	for i := 0; i < len(batch); i++ {
+		leader := batch[i]
+		if i > 0 {
+			leader.log.Info("follower promoted to batch leader", "cancelled_leader", batch[i-1].id)
 		}
+		resultKey, ok := s.runJob(leader)
 		if !ok {
-			// Leader failed; give the follower its own independent run.
-			s.runJob(f)
+			// Leader cancelled or failed: promote the next follower. runJob
+			// already failed this job with its own error.
 			continue
 		}
-		f.mu.Lock()
-		f.coalesced = true
-		f.mu.Unlock()
-		f.finish(resultKey, true)
-		s.metric(func() { s.met.coalesced.Inc() })
-		f.log.Info("job served from coalesced batch", "leader", leader.id, "state", StateDone)
-		s.notify(f)
+		for _, f := range batch[i+1:] {
+			f.queueSpan.End()
+			if err := f.ctx.Err(); err != nil {
+				f.fail(err)
+				s.metric(func() { s.met.failed.Inc() })
+				f.log.Warn("job cancelled before start", "error", err)
+				s.notify(f)
+				continue
+			}
+			f.mu.Lock()
+			f.coalesced = true
+			f.mu.Unlock()
+			f.finish(resultKey, true)
+			s.metric(func() { s.met.coalesced.Inc() })
+			f.log.Info("job served from coalesced batch", "leader", leader.id, "state", StateDone)
+			s.notify(f)
+		}
+		return
 	}
 }
 
@@ -834,6 +914,21 @@ func (s *Scheduler) WriteMetricsText(w io.Writer) error {
 	srec.Counter("sched", "overflows", "").Add(t.Overflows)
 	srec.Counter("sched", "parks", "").Add(t.Parks)
 	if err := srec.WritePrometheusText(w); err != nil {
+		return err
+	}
+	// Stream fan-out counters live in atomics (publishers must never take
+	// the metrics lock on the notify path); render them scrape-time like
+	// the sched totals.
+	ss := s.streams.status()
+	strec := obs.New(obs.Config{Metrics: true})
+	strec.Gauge("stream", "subscribers", "").Set(ss.Subscribers)
+	strec.Counter("stream", "subscriptions_opened", "").Add(ss.Opened)
+	strec.Counter("stream", "events_published", "").Add(ss.Published)
+	strec.Counter("stream", "events_dropped", "").Add(ss.Dropped)
+	if err := strec.WritePrometheusText(w); err != nil {
+		return err
+	}
+	if err := s.tenants.writeMetricsText(w); err != nil {
 		return err
 	}
 	if s.cfg.Faults != nil {

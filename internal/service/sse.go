@@ -1,0 +1,170 @@
+package service
+
+// SSE wire format for the job/batch event streams. The encoder and decoder
+// here are the single implementation used by the server handlers
+// (stream.go), the typed client (WatchJob/WatchBatch), the conformance
+// golden test, and FuzzSSEDecoder — so the bytes the service emits and the
+// bytes the client accepts can never drift apart.
+//
+// Framing follows the text/event-stream format: one event is a block of
+// "field: value" lines terminated by a blank line. We emit `id`, `event`,
+// and `data` fields; comment lines (leading ':') carry heartbeats. The
+// decoder is deliberately tolerant on input — unknown fields are ignored,
+// multi-line data is rejoined with '\n', trailing CRs are stripped, and a
+// frame with no data lines (comments, heartbeats, stray ids) dispatches
+// nothing — so that decode∘encode is the identity on anything the decoder
+// accepts, which is exactly what FuzzSSEDecoder pins down.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Stream event types carried in the SSE `event` field.
+const (
+	// EventState carries a full JobStatus snapshot on every lifecycle
+	// transition (queued, running, done, failed).
+	EventState = "state"
+	// EventProgress carries sweep progress ({"job","done","sweep_points",
+	// "sweep_runs"}) while a job runs.
+	EventProgress = "progress"
+	// EventDropped marks a gap where a slow subscriber's buffer overflowed:
+	// {"dropped":N,"resume_id":K}. The frame intentionally carries no SSE
+	// id, so a client's Last-Event-ID stays at the last delivered event and
+	// a reconnect replays the gap from the retained log.
+	EventDropped = "dropped"
+	// EventBatch is the aggregate-stream summary emitted once every member
+	// of a batch reaches a terminal state.
+	EventBatch = "batch"
+)
+
+// StreamEvent is one event on a job or batch stream. ID is the 1-based
+// sequence number within its stream (0 on frames sent without an id, like
+// dropped markers); Type is the SSE event name; Data is the JSON payload.
+type StreamEvent struct {
+	ID   uint64          `json:"id,omitempty"`
+	Type string          `json:"event,omitempty"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// EncodeSSE writes ev as one text/event-stream frame: optional `id` and
+// `event` lines, the payload split across `data` lines on embedded
+// newlines, and the terminating blank line.
+func EncodeSSE(w io.Writer, ev StreamEvent) error {
+	var b strings.Builder
+	if ev.ID > 0 {
+		fmt.Fprintf(&b, "id: %d\n", ev.ID)
+	}
+	if ev.Type != "" {
+		fmt.Fprintf(&b, "event: %s\n", ev.Type)
+	}
+	for _, line := range strings.Split(string(ev.Data), "\n") {
+		b.WriteString("data: ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteSSEComment writes a comment frame (": text\n\n") — invisible to SSE
+// clients, used as a connection heartbeat.
+func WriteSSEComment(w io.Writer, text string) error {
+	_, err := fmt.Fprintf(w, ": %s\n\n", text)
+	return err
+}
+
+// maxSSELine bounds one line of decoder input, so a stream that never sends
+// a newline cannot grow a client buffer without bound.
+const maxSSELine = 1 << 20
+
+// ErrSSELineTooLong reports a stream line over the decoder's bound.
+var ErrSSELineTooLong = errors.New("sse: line exceeds 1MiB bound")
+
+// SSEDecoder incrementally parses a text/event-stream body into
+// StreamEvents.
+type SSEDecoder struct {
+	r *bufio.Reader
+}
+
+// NewSSEDecoder wraps r for frame-at-a-time decoding.
+func NewSSEDecoder(r io.Reader) *SSEDecoder {
+	return &SSEDecoder{r: bufio.NewReader(r)}
+}
+
+// Next returns the next dispatched event. Comment-only frames and frames
+// without data lines are skipped, per the event-stream processing model; an
+// unterminated trailing frame is discarded. It returns io.EOF at end of
+// stream.
+func (d *SSEDecoder) Next() (StreamEvent, error) {
+	var (
+		ev       StreamEvent
+		data     []string
+		haveData bool
+	)
+	for {
+		line, err := d.readLine()
+		if err != nil {
+			return StreamEvent{}, err
+		}
+		if line == "" { // blank line: dispatch the accumulated frame
+			if haveData {
+				ev.Data = json.RawMessage(strings.Join(data, "\n"))
+				return ev, nil
+			}
+			ev, data = StreamEvent{}, nil // nothing to dispatch; reset
+			continue
+		}
+		if line[0] == ':' { // comment (heartbeat)
+			continue
+		}
+		field, value := line, ""
+		if i := strings.IndexByte(line, ':'); i >= 0 {
+			field, value = line[:i], strings.TrimPrefix(line[i+1:], " ")
+		}
+		switch field {
+		case "data":
+			data = append(data, value)
+			haveData = true
+		case "event":
+			ev.Type = value
+		case "id":
+			if n, err := strconv.ParseUint(value, 10, 64); err == nil {
+				ev.ID = n
+			}
+		}
+	}
+}
+
+// readLine reads one input line, stripping the terminator and any trailing
+// CRs (so CRLF input parses like LF input and decoded payloads never end in
+// a bare CR — which keeps decode∘encode the identity).
+func (d *SSEDecoder) readLine() (string, error) {
+	var b []byte
+	for {
+		chunk, err := d.r.ReadSlice('\n')
+		b = append(b, chunk...)
+		if len(b) > maxSSELine {
+			return "", ErrSSELineTooLong
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			if err == io.EOF && len(b) > 0 {
+				// Unterminated final line: the frame it belongs to can
+				// never be dispatched (no blank line follows), so per the
+				// processing model it is discarded with the stream end.
+				return "", io.EOF
+			}
+			return "", err
+		}
+		return strings.TrimRight(strings.TrimSuffix(string(b), "\n"), "\r"), nil
+	}
+}

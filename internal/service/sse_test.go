@@ -1,0 +1,202 @@
+package service_test
+
+// SSE wire-format conformance: the golden file pins the exact bytes the
+// service frames events with, the decoder tests pin the tolerances the
+// event-stream processing model requires (comments, CRLF, dataless frames,
+// multi-line data), and FuzzSSEDecoder pins the contract the client relies
+// on — decode∘encode is the identity on anything the decoder accepts.
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+const sseGoldenPath = "testdata/sse_golden.txt"
+
+// goldenStream is the conformance sequence: lifecycle states, a progress
+// event, a heartbeat comment between frames, an id-less dropped marker, and
+// a multi-line data payload (the encoder must split it across data lines,
+// the decoder must rejoin it with '\n').
+func goldenStream() []service.StreamEvent {
+	return []service.StreamEvent{
+		{ID: 1, Type: service.EventState, Data: []byte(`{"id":"job-1","state":"queued"}`)},
+		{ID: 2, Type: service.EventState, Data: []byte(`{"id":"job-1","state":"running"}`)},
+		{ID: 3, Type: service.EventProgress, Data: []byte(`{"job":"job-1","done":4,"sweep_points":8,"sweep_runs":3}`)},
+		{Type: service.EventDropped, Data: []byte(`{"dropped":2,"resume_id":3}`)},
+		{ID: 6, Type: service.EventState, Data: []byte("{\"id\":\"job-1\",\n \"state\":\"done\"}")},
+	}
+}
+
+// encodeGoldenStream frames the conformance sequence, with the heartbeat
+// comment between the progress event and the dropped marker.
+func encodeGoldenStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, ev := range goldenStream() {
+		if i == 3 {
+			if err := service.WriteSSEComment(&buf, "hb"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := service.EncodeSSE(&buf, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestSSEGoldenFraming(t *testing.T) {
+	got := encodeGoldenStream(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(sseGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(sseGoldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(sseGoldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("encoded stream diverged from golden (rerun with -update if the change is intended)\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestSSEDecodeGolden(t *testing.T) {
+	data, err := os.ReadFile(sseGoldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := service.NewSSEDecoder(bytes.NewReader(data))
+	var got []service.StreamEvent
+	for {
+		ev, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev)
+	}
+	// The heartbeat comment is invisible to decoders: exactly the framed
+	// events come back, bytes intact.
+	if want := goldenStream(); !reflect.DeepEqual(got, want) {
+		t.Errorf("decoded golden stream = %+v, want %+v", got, want)
+	}
+}
+
+// decodeAll drains a stream into its dispatched events.
+func decodeAll(t *testing.T, in string) []service.StreamEvent {
+	t.Helper()
+	dec := service.NewSSEDecoder(strings.NewReader(in))
+	var out []service.StreamEvent
+	for {
+		ev, err := dec.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("decode %q: %v", in, err)
+		}
+		out = append(out, ev)
+	}
+}
+
+func TestSSEDecoderTolerances(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []service.StreamEvent
+	}{
+		{"crlf input parses like lf", "id: 4\r\nevent: state\r\ndata: x\r\n\r\n",
+			[]service.StreamEvent{{ID: 4, Type: "state", Data: []byte("x")}}},
+		{"dataless frame dispatches nothing", "id: 9\nevent: state\n\ndata: y\n\n",
+			[]service.StreamEvent{{Data: []byte("y")}}},
+		{"comment-only frames skipped", ": hb\n\n: hb\n\ndata: z\n\n",
+			[]service.StreamEvent{{Data: []byte("z")}}},
+		{"multi-line data rejoined", "data: a\ndata: b\n\n",
+			[]service.StreamEvent{{Data: []byte("a\nb")}}},
+		{"no space after colon", "data:x\n\n",
+			[]service.StreamEvent{{Data: []byte("x")}}},
+		{"unparseable id ignored", "id: nope\ndata: x\n\n",
+			[]service.StreamEvent{{Data: []byte("x")}}},
+		{"unknown field ignored", "retry: 100\ndata: x\n\n",
+			[]service.StreamEvent{{Data: []byte("x")}}},
+		{"empty data line kept", "data: \n\n",
+			[]service.StreamEvent{{Data: []byte("")}}},
+		{"unterminated tail discarded", "data: whole\n\ndata: torn",
+			[]service.StreamEvent{{Data: []byte("whole")}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := decodeAll(t, tc.in); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("decode %q = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSSEDecoderBoundsLineLength(t *testing.T) {
+	// A stream that never sends a newline must error out, not grow the
+	// client's buffer without bound.
+	in := io.MultiReader(strings.NewReader("data: "), endless{'a'})
+	_, err := service.NewSSEDecoder(in).Next()
+	if !errors.Is(err, service.ErrSSELineTooLong) {
+		t.Errorf("decoding an unbounded line: err = %v, want ErrSSELineTooLong", err)
+	}
+}
+
+// endless yields one repeated byte forever.
+type endless struct{ b byte }
+
+func (e endless) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = e.b
+	}
+	return len(p), nil
+}
+
+// FuzzSSEDecoder pins the codec's round-trip contract: any event the
+// decoder dispatches, re-encoded and re-decoded, comes back identical. The
+// server encodes and the client decodes with this single implementation, so
+// this is the property that keeps both ends agreeing on arbitrary payloads.
+func FuzzSSEDecoder(f *testing.F) {
+	f.Add([]byte("id: 1\nevent: state\ndata: {\"state\":\"done\"}\n\n"))
+	f.Add([]byte("data: a\ndata: b\n\n: hb\n\nevent: dropped\ndata: {}\n\n"))
+	f.Add([]byte("id: 99\r\nevent: progress\r\ndata: x\r\n\r\n"))
+	f.Add([]byte("id: nope\nretry: 5\ndata:\n\n"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		dec := service.NewSSEDecoder(bytes.NewReader(in))
+		for {
+			ev, err := dec.Next()
+			if err != nil {
+				return // EOF or bound exceeded: both end the stream
+			}
+			var buf bytes.Buffer
+			if err := service.EncodeSSE(&buf, ev); err != nil {
+				t.Fatalf("re-encoding decoded event %+v: %v", ev, err)
+			}
+			again, err := service.NewSSEDecoder(bytes.NewReader(buf.Bytes())).Next()
+			if err != nil {
+				t.Fatalf("re-decoding %q (from %+v): %v", buf.Bytes(), ev, err)
+			}
+			if !reflect.DeepEqual(ev, again) {
+				t.Fatalf("decode∘encode not identity:\nfirst:  %+v\nencode: %q\nsecond: %+v", ev, buf.Bytes(), again)
+			}
+		}
+	})
+}

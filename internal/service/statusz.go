@@ -10,6 +10,7 @@ package service
 import (
 	"io"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/faults"
@@ -87,6 +88,12 @@ type Status struct {
 	Sched         SchedStatus       `json:"sched"`
 	Store         store.Stats       `json:"store"`
 	Faults        FaultStatus       `json:"faults"`
+	// Streams summarises the push side: live subscribers and fan-out
+	// counters.
+	Streams StreamStatus `json:"streams"`
+	// Tenants is the per-tenant quota view; present only in keyed
+	// multi-tenant mode.
+	Tenants map[string]TenantStatus `json:"tenants,omitempty"`
 }
 
 // Status assembles a point-in-time introspection snapshot.
@@ -160,7 +167,48 @@ func (s *Scheduler) Status() Status {
 			st.Faults.Injected[c.String()] = s.cfg.Faults.Count(c)
 		}
 	}
+	st.Streams = s.streams.status()
+	st.Tenants = s.tenants.status(st.Queue.Tenants)
 	return st
+}
+
+// AdminState is the GET /v1/admin/state payload: the operator's deep view —
+// every queued job with its aged priority, every live stream subscriber,
+// batch completion state, and tenant quota usage.
+type AdminState struct {
+	Draining    bool                    `json:"draining"`
+	Workers     int                     `json:"workers"`
+	Queue       []QueuedJobInfo         `json:"queue"`
+	Jobs        JobCounts               `json:"jobs"`
+	Batches     []BatchInfo             `json:"batches,omitempty"`
+	Subscribers []SubscriberInfo        `json:"subscribers,omitempty"`
+	Streams     StreamStatus            `json:"streams"`
+	Tenants     map[string]TenantStatus `json:"tenants,omitempty"`
+}
+
+// AdminState assembles the admin introspection snapshot.
+func (s *Scheduler) AdminState() AdminState {
+	st := s.Status()
+	out := AdminState{
+		Draining:    st.Draining,
+		Workers:     st.Workers,
+		Queue:       s.queue.snapshot(),
+		Jobs:        st.Jobs,
+		Subscribers: s.streams.subscribers(),
+		Streams:     st.Streams,
+		Tenants:     st.Tenants,
+	}
+	s.mu.Lock()
+	batches := make([]*batchStream, 0, len(s.batches))
+	for _, b := range s.batches {
+		batches = append(batches, b)
+	}
+	s.mu.Unlock()
+	for _, b := range batches {
+		out.Batches = append(out.Batches, b.info())
+	}
+	sort.Slice(out.Batches, func(a, b int) bool { return out.Batches[a].ID < out.Batches[b].ID })
+	return out
 }
 
 // WriteJobTrace writes the merged Perfetto trace for one job: its wall-clock

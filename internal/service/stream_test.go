@@ -1,0 +1,288 @@
+package service_test
+
+// End-to-end tests for GET /v1/jobs/{id}/events: lifecycle ordering over a
+// live stream, Last-Event-ID resume out of the retained log, the NDJSON
+// fallback, and the admin/introspection surfaces the streaming layer feeds.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// watchOutcome carries a goroutine watch back to the test.
+type watchOutcome struct {
+	res    service.WatchResult
+	events []service.StreamEvent
+	err    error
+}
+
+// watchJob runs WatchJobDetail on its own goroutine, collecting every event.
+func watchJob(ctx context.Context, c *service.Client, id string, afterID uint64) chan watchOutcome {
+	done := make(chan watchOutcome, 1)
+	go func() {
+		var out watchOutcome
+		out.res, out.err = c.WatchJobDetail(ctx, id, afterID, func(ev service.StreamEvent) {
+			out.events = append(out.events, ev)
+		})
+		done <- out
+	}()
+	return done
+}
+
+// stateOf unmarshals a state event's payload.
+func stateOf(t *testing.T, ev service.StreamEvent) service.JobStatus {
+	t.Helper()
+	if ev.Type != service.EventState {
+		t.Fatalf("event %d is %q, want %q", ev.ID, ev.Type, service.EventState)
+	}
+	var js service.JobStatus
+	if err := json.Unmarshal(ev.Data, &js); err != nil {
+		t.Fatalf("unmarshal state event %d: %v", ev.ID, err)
+	}
+	return js
+}
+
+// TestJobEventsLifecycleOrder watches a job live from before it runs and
+// asserts the push side's core contract: lifecycle events arrive in order
+// (queued, running, done) with 1-based contiguous IDs, and the stream closes
+// itself after the terminal event.
+func TestJobEventsLifecycleOrder(t *testing.T) {
+	started, release := resetBlock()
+	_, c := newServer(t, service.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	js, err := c.Submit(ctx, service.SubmitRequest{Experiment: "test-block", Seed: 31, Runs: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := watchJob(ctx, c, js.ID, 0)
+	<-started
+	close(release)
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.res.Status.State != service.StateDone {
+		t.Fatalf("terminal status = %s (%s), want done", out.res.Status.State, out.res.Status.Error)
+	}
+	if out.res.Reconnects != 0 || out.res.Drops != 0 {
+		t.Errorf("clean watch saw %d reconnects, %d drops; want 0, 0", out.res.Reconnects, out.res.Drops)
+	}
+
+	var states []service.State
+	for i, ev := range out.events {
+		if want := uint64(i + 1); ev.ID != want {
+			t.Errorf("event %d has ID %d, want contiguous %d", i, ev.ID, want)
+		}
+		if ev.Type == service.EventState {
+			states = append(states, stateOf(t, ev).State)
+		}
+	}
+	want := []service.State{service.StateQueued, service.StateRunning, service.StateDone}
+	if len(states) != len(want) {
+		t.Fatalf("lifecycle states = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("lifecycle states = %v, want %v", states, want)
+		}
+	}
+}
+
+// completedJob pushes one job to done and returns its status.
+func completedJob(t *testing.T, c *service.Client, seed int64) service.JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	js, err := c.Submit(ctx, service.SubmitRequest{Experiment: "fig7", Seed: seed, Runs: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js, err = c.Wait(ctx, js.ID, 5*time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+	if js.State != service.StateDone {
+		t.Fatalf("job = %s (%s), want done", js.State, js.Error)
+	}
+	return js
+}
+
+// TestJobEventsResume replays a finished job's stream from Last-Event-ID: a
+// reconnect after event K receives exactly the retained events with greater
+// IDs and then ends, because the stream is closed.
+func TestJobEventsResume(t *testing.T) {
+	_, c := newServer(t, service.Config{})
+	js := completedJob(t, c, 41)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Full replay establishes how many events the stream holds.
+	full, err := c.WatchJobDetail(ctx, js.ID, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Events < 2 || full.LastEventID < 2 {
+		t.Fatalf("full replay saw %d events up to ID %d, want at least the queued/done pair", full.Events, full.LastEventID)
+	}
+
+	// Resuming after event 1 replays IDs 2..last and nothing else.
+	out := <-watchJob(ctx, c, js.ID, 1)
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if len(out.events) != full.Events-1 {
+		t.Errorf("resume after 1 replayed %d events, want %d", len(out.events), full.Events-1)
+	}
+	if len(out.events) > 0 && out.events[0].ID != 2 {
+		t.Errorf("resume after 1 started at ID %d, want 2", out.events[0].ID)
+	}
+	if out.res.Status.State != service.StateDone {
+		t.Errorf("resumed terminal status = %s, want done", out.res.Status.State)
+	}
+}
+
+// rawStream issues a bare HTTP stream request and returns the response.
+func rawStream(t *testing.T, base, path, accept, lastEventID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestJobEventsWireFormats pins the negotiated content types on the wire:
+// default SSE framing, and one JSON object per line under the NDJSON
+// fallback — with identical events either way.
+func TestJobEventsWireFormats(t *testing.T) {
+	_, c := newServer(t, service.Config{})
+	js := completedJob(t, c, 43)
+	path := "/v1/jobs/" + js.ID + "/events"
+
+	sse := rawStream(t, c.BaseURL, path, "text/event-stream", "")
+	if ct := sse.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("SSE Content-Type = %q", ct)
+	}
+	var sseEvents []service.StreamEvent
+	dec := service.NewSSEDecoder(sse.Body)
+	for {
+		ev, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sseEvents = append(sseEvents, ev)
+	}
+
+	nd := rawStream(t, c.BaseURL, path, "application/x-ndjson", "")
+	if ct := nd.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("NDJSON Content-Type = %q", ct)
+	}
+	var ndEvents []service.StreamEvent
+	sc := bufio.NewScanner(nd.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev service.StreamEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("NDJSON line %q: %v", line, err)
+		}
+		ndEvents = append(ndEvents, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sseEvents) == 0 || len(sseEvents) != len(ndEvents) {
+		t.Fatalf("SSE replayed %d events, NDJSON %d; want equal and nonzero", len(sseEvents), len(ndEvents))
+	}
+	for i := range sseEvents {
+		if sseEvents[i].ID != ndEvents[i].ID || sseEvents[i].Type != ndEvents[i].Type ||
+			string(sseEvents[i].Data) != string(ndEvents[i].Data) {
+			t.Errorf("event %d differs across formats: SSE %+v, NDJSON %+v", i, sseEvents[i], ndEvents[i])
+		}
+	}
+}
+
+func TestJobEventsUnknownJob(t *testing.T) {
+	_, c := newServer(t, service.Config{})
+	resp := rawStream(t, c.BaseURL, "/v1/jobs/nope/events", "", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("events for unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAdminStateAndStreamStatus checks the introspection the streaming layer
+// feeds: a live subscriber shows up in /v1/admin/state and the /statusz
+// stream counters, and both drain back down when the watch ends.
+func TestAdminStateAndStreamStatus(t *testing.T) {
+	started, release := resetBlock()
+	s, c := newServer(t, service.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	js, err := c.Submit(ctx, service.SubmitRequest{Experiment: "test-block", Seed: 47, Runs: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := watchJob(ctx, c, js.ID, 0)
+	<-started
+
+	// The subscriber registers asynchronously with the watch goroutine; poll
+	// the admin snapshot until it appears.
+	deadline := time.Now().Add(10 * time.Second)
+	var st service.AdminState
+	for {
+		if st, err = c.Admin(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Subscribers) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(st.Subscribers) != 1 || st.Subscribers[0].Stream != js.ID {
+		t.Fatalf("admin subscribers = %+v, want one on %s", st.Subscribers, js.ID)
+	}
+	if s.Status().Streams.Subscribers != 1 {
+		t.Errorf("statusz subscribers = %d, want 1", s.Status().Streams.Subscribers)
+	}
+
+	close(release)
+	if out := <-done; out.err != nil {
+		t.Fatal(out.err)
+	}
+	// The handler deregisters on its way out, concurrently with the watch
+	// returning.
+	for time.Now().Before(deadline) && s.Status().Streams.Subscribers > 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	str := s.Status().Streams
+	if str.Subscribers != 0 || str.Opened < 1 || str.Published < 3 {
+		t.Errorf("post-watch stream status = %+v, want drained subscribers with history", str)
+	}
+}
